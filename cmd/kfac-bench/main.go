@@ -1,0 +1,64 @@
+// Command kfac-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	kfac-bench -list              # show all experiment IDs
+//	kfac-bench -exp table1        # run one experiment
+//	kfac-bench -all               # run everything
+//	kfac-bench -all -quick        # smoke-test scale (seconds instead of minutes)
+//
+// Each experiment prints its table/series to stdout together with the
+// paper's reported values for comparison; see EXPERIMENTS.md for the
+// recorded paper-vs-measured summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment ID to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		quick = flag.Bool("quick", false, "reduced-scale smoke runs")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			start := time.Now()
+			if err := e.Run(os.Stdout, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("   [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	case *expID != "":
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+			os.Exit(2)
+		}
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,96 @@
+// Command kfac-sim queries the calibrated cluster performance model
+// directly: time-to-solution, per-stage costs, worker eigendecomposition
+// loads and scaling efficiency for any (model, GPUs, strategy, update
+// frequency) combination — the interactive counterpart of the fixed
+// experiment runners in kfac-bench.
+//
+// Examples:
+//
+//	kfac-sim -model resnet50 -gpus 64
+//	kfac-sim -model resnet152 -gpus 256 -freq 125 -strategy layerwise
+//	kfac-sim -model resnet101 -gpus 64 -workers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/kfac"
+	"repro/internal/models"
+	"repro/internal/simulate"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "resnet50", "resnet32|resnet34|resnet50|resnet101|resnet152")
+		gpus       = flag.Int("gpus", 64, "worker count")
+		freq       = flag.Int("freq", 0, "kfac-update-freq (0 = paper's scale-proportional value)")
+		strategy   = flag.String("strategy", "roundrobin", "roundrobin|layerwise|greedy")
+		sgdEpochs  = flag.Int("sgd-epochs", 90, "SGD epoch budget")
+		kfacEpochs = flag.Int("kfac-epochs", 55, "K-FAC epoch budget")
+		workers    = flag.Bool("workers", false, "print per-worker eigendecomposition times")
+	)
+	flag.Parse()
+
+	cat, err := models.CatalogByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var strat kfac.Strategy
+	switch *strategy {
+	case "layerwise":
+		strat = kfac.LayerWise
+	case "greedy":
+		strat = kfac.SizeGreedy
+	case "roundrobin":
+		strat = kfac.RoundRobin
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	m := simulate.NewModel(simulate.DefaultV100Cluster(), simulate.ImageNetWorkload(cat))
+	f := *freq
+	if f == 0 {
+		f = simulate.PaperInvFreq(*gpus)
+	}
+
+	fmt.Printf("model %s: %.1fM params, %d K-FAC layers, %d iterations/epoch at %d GPUs\n",
+		cat.Name, float64(cat.TotalParams())/1e6, len(cat.Layers), m.IterationsPerEpoch(*gpus), *gpus)
+	fmt.Printf("per-iteration: fwd+bwd %.1f ms, SGD iter %.1f ms, %s iter %.1f ms (freq %d)\n",
+		m.FwdBwdTime()*1e3, m.SGDIterTime(*gpus)*1e3,
+		strat, m.KFACIterAvgTime(*gpus, f, strat)*1e3, f)
+
+	fc, fm := m.FactorStage(*gpus)
+	ec, em := m.EigStage(*gpus, strat)
+	fmt.Printf("stages: factor %.1f ms comp + %.1f ms comm | eig %.1f ms comp + %.1f ms comm\n",
+		fc*1e3, fm*1e3, ec*1e3, em*1e3)
+
+	sgd := m.TimeToSolutionMin(simulate.RunSpec{GPUs: *gpus, Epochs: *sgdEpochs})
+	kf := m.TimeToSolutionMin(simulate.RunSpec{
+		GPUs: *gpus, Epochs: *kfacEpochs, KFAC: true, Strategy: strat, InvFreq: f})
+	fmt.Printf("time-to-solution: SGD (%d epochs) %.0f min | %s (%d epochs) %.0f min | improvement %+.1f%%\n",
+		*sgdEpochs, sgd, strat, *kfacEpochs, kf, 100*(sgd-kf)/sgd)
+
+	eff := m.ScalingEfficiency(simulate.RunSpec{
+		GPUs: *gpus, Epochs: *kfacEpochs, KFAC: true, Strategy: strat, InvFreq: f}, 16)
+	fmt.Printf("scaling efficiency vs 16 GPUs: %.1f%%\n", eff*100)
+
+	if *workers {
+		times := m.WorkerEigTimes(*gpus, strat)
+		sorted := append([]float64(nil), times...)
+		sort.Float64s(sorted)
+		fmt.Printf("\nper-worker eig times (s), sorted: min %.3f  median %.3f  max %.3f\n",
+			sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1])
+		busy := 0
+		for _, t := range times {
+			if t > 0 {
+				busy++
+			}
+		}
+		fmt.Printf("busy workers: %d of %d (idle workers are the §IV scaling concern)\n", busy, *gpus)
+	}
+}

@@ -1,0 +1,134 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := models.BuildSmallCNN(3, 10, 4, rng)
+	f := Snapshot(src, 7, 123)
+	if f.Epoch != 7 || f.Step != 123 {
+		t.Errorf("progress = %d/%d", f.Epoch, f.Step)
+	}
+
+	// Restore into a freshly initialized model with different weights.
+	dst := models.BuildSmallCNN(3, 10, 4, rand.New(rand.NewSource(2)))
+	if err := f.Restore(dst); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if !sp[i].Value.Equal(dp[i].Value, 0) {
+			t.Fatalf("parameter %s differs after restore", sp[i].Name)
+		}
+	}
+}
+
+func TestWriteReadStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := models.BuildMLP("mlp", []int{4, 8, 2}, rng)
+	f := Snapshot(m, 1, 2)
+	f.AddExtra("momentum.fc0", tensor.Full(0.5, 8, 4))
+
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 || len(got.Params) != len(f.Params) {
+		t.Error("round trip lost data")
+	}
+	ex := got.ExtraTensor("momentum.fc0")
+	if ex == nil || ex.At(0, 0) != 0.5 {
+		t.Error("extra tensor lost")
+	}
+	if got.ExtraTensor("missing") != nil {
+		t.Error("missing extra should be nil")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := models.BuildMLP("mlp", []int{3, 3}, rng)
+	f := Snapshot(m, 5, 50)
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 50 {
+		t.Errorf("Step = %d", got.Step)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRestoreMismatchedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := models.BuildMLP("a", []int{4, 4}, rng)
+	f := Snapshot(src, 0, 0)
+
+	// Different layer names.
+	other := models.BuildMLP("b", []int{4, 4}, rng)
+	if err := f.Restore(other); err == nil {
+		t.Error("expected name mismatch error")
+	}
+	// Different shape, same names.
+	bigger := models.BuildMLP("a", []int{4, 5}, rng)
+	if err := f.Restore(bigger); err == nil {
+		t.Error("expected size mismatch error")
+	}
+	// Different parameter count.
+	deeper := models.BuildMLP("a", []int{4, 4, 4}, rng)
+	if err := f.Restore(deeper); err == nil {
+		t.Error("expected count mismatch error")
+	}
+}
+
+func TestReadBadVersion(t *testing.T) {
+	f := &File{Version: 99}
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("expected version error")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not a gob")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestSnapshotTrainedStateDiffers(t *testing.T) {
+	// Sanity: snapshot captures values, not references.
+	rng := rand.New(rand.NewSource(6))
+	m := models.BuildMLP("mlp", []int{2, 2}, rng)
+	f := Snapshot(m, 0, 0)
+	var before float64 = f.Params[0].Data[0]
+	m.Params()[0].Value.Data[0] = 999
+	if f.Params[0].Data[0] != before {
+		t.Error("snapshot aliases live parameters")
+	}
+	var _ nn.Layer = m
+}

@@ -1,0 +1,152 @@
+package comm
+
+import (
+	"fmt"
+)
+
+// Additional collectives beyond the paper's minimum set (allreduce,
+// allgather, broadcast): reduce-to-root, ring reduce-scatter, and
+// gather-to-root. Horovod exposes the same surface; these are used by the
+// ablation experiments and available to library users.
+
+// Reduce sums data from all ranks onto root (in place on root; other ranks'
+// buffers are left unchanged). Binomial-tree reduction, log₂(p) rounds.
+func (c *Communicator) Reduce(data []float64, root int) error {
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	r := c.Rank()
+	base := c.nextOp()
+	rel := mod(r-root, p)
+	// Accumulate into a scratch copy so non-root callers keep their input.
+	acc := data
+	if r != root {
+		acc = make([]float64, len(data))
+		copy(acc, data)
+	}
+	// Largest power of two ≥ p.
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	for offset := 1; offset < top; offset <<= 1 {
+		if rel%(2*offset) == offset {
+			// Sender this round.
+			peer := rel - offset
+			return c.t.Send(mod(peer+root, p), opTag(base, offset), acc)
+		}
+		if rel%(2*offset) == 0 && rel+offset < p {
+			in, err := c.t.Recv(mod(rel+offset+root, p), opTag(base, offset))
+			if err != nil {
+				return err
+			}
+			if len(in) != len(acc) {
+				return fmt.Errorf("comm: reduce size mismatch: %d != %d", len(in), len(acc))
+			}
+			for i := range acc {
+				acc[i] += in[i]
+			}
+		}
+	}
+	return nil
+}
+
+// ReduceScatter sums data elementwise across ranks and leaves each rank
+// with its chunk of the result (the first phase of the ring allreduce).
+// Returns this rank's reduced chunk; data is clobbered as scratch.
+func (c *Communicator) ReduceScatter(data []float64) ([]float64, error) {
+	p := c.Size()
+	r := c.Rank()
+	counts, displs := split(len(data), p)
+	if p == 1 {
+		out := make([]float64, counts[0])
+		copy(out, data)
+		return out, nil
+	}
+	base := c.nextOp()
+	next, prev := mod(r+1, p), mod(r-1, p)
+	chunk := func(i int) []float64 { return data[displs[i] : displs[i]+counts[i]] }
+	for s := 0; s < p-1; s++ {
+		sendIdx := mod(r-s, p)
+		recvIdx := mod(r-s-1, p)
+		errCh := c.sendAsync(next, opTag(base, s), chunk(sendIdx))
+		in, err := c.t.Recv(prev, opTag(base, s))
+		if err != nil {
+			return nil, err
+		}
+		if serr := <-errCh; serr != nil {
+			return nil, serr
+		}
+		dst := chunk(recvIdx)
+		if len(in) != len(dst) {
+			return nil, fmt.Errorf("comm: reduce-scatter chunk mismatch: %d != %d", len(in), len(dst))
+		}
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// After p−1 steps this rank owns the fully reduced chunk (r+1) mod p.
+	own := mod(r+1, p)
+	out := make([]float64, counts[own])
+	copy(out, chunk(own))
+	return out, nil
+}
+
+// OwnedChunk returns the index of the chunk ReduceScatter leaves on this
+// rank, and its extent within the original buffer.
+func (c *Communicator) OwnedChunk(n int) (index, offset, length int) {
+	p := c.Size()
+	counts, displs := split(n, p)
+	idx := mod(c.Rank()+1, p)
+	return idx, displs[idx], counts[idx]
+}
+
+// Gather collects each rank's (variable-length) contribution onto root.
+// root receives a per-rank slice; other ranks receive nil.
+func (c *Communicator) Gather(mine []float64, root int) ([][]float64, error) {
+	p := c.Size()
+	base := c.nextOp()
+	if c.Rank() != root {
+		return nil, c.t.Send(root, opTag(base, c.Rank()), mine)
+	}
+	out := make([][]float64, p)
+	cp := make([]float64, len(mine))
+	copy(cp, mine)
+	out[root] = cp
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		in, err := c.t.Recv(r, opTag(base, r))
+		if err != nil {
+			return nil, err
+		}
+		out[r] = in
+	}
+	return out, nil
+}
+
+// Scatter distributes root's per-rank payloads; each rank returns its own
+// slice. chunks is only read on root and must have one entry per rank.
+func (c *Communicator) Scatter(chunks [][]float64, root int) ([]float64, error) {
+	p := c.Size()
+	base := c.nextOp()
+	if c.Rank() == root {
+		if len(chunks) != p {
+			return nil, fmt.Errorf("comm: scatter needs %d chunks, got %d", p, len(chunks))
+		}
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.t.Send(r, opTag(base, r), chunks[r]); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]float64, len(chunks[root]))
+		copy(out, chunks[root])
+		return out, nil
+	}
+	return c.t.Recv(root, opTag(base, c.Rank()))
+}

@@ -1,0 +1,237 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Gradient compression codecs. The paper's conclusion names reducing
+// communication quantity as future work ("we will also design and evaluate
+// solutions to avoid communications and reduce communication quantity");
+// this file implements the two standard families so the ablation harness
+// can quantify the tradeoff:
+//
+//   - Float16Codec: lossy scalar quantization to IEEE-754 half precision
+//     (the mixed-precision communication used by several of the paper's
+//     related works), 2× volume reduction;
+//   - TopKCodec: magnitude sparsification keeping the k largest entries as
+//     (index, value) pairs, with optional local error feedback handled by
+//     the caller.
+//
+// Codecs encode into []float64 transport payloads so they compose with any
+// Transport; the volume accounting (CompressedLen) feeds the α–β model.
+
+// Codec converts between a dense vector and its compressed wire form.
+type Codec interface {
+	// Encode compresses src into a transport payload.
+	Encode(src []float64) []float64
+	// Decode expands a payload produced by Encode back to length n.
+	Decode(payload []float64, n int) ([]float64, error)
+	// CompressedLen returns the payload length for an n-vector.
+	CompressedLen(n int) int
+	// Name identifies the codec.
+	Name() string
+}
+
+// Float16Codec packs each value to IEEE-754 binary16, four per float64
+// word. Quantization is round-to-nearest-even with overflow to ±Inf and
+// flush of subnormals handled by the conversion.
+type Float16Codec struct{}
+
+// Name implements Codec.
+func (Float16Codec) Name() string { return "float16" }
+
+// CompressedLen implements Codec.
+func (Float16Codec) CompressedLen(n int) int { return (n + 3) / 4 }
+
+// Encode implements Codec.
+func (Float16Codec) Encode(src []float64) []float64 {
+	out := make([]float64, (len(src)+3)/4)
+	for i, v := range src {
+		h := uint64(float16FromFloat64(v))
+		word := i / 4
+		shift := uint(16 * (i % 4))
+		bits := math.Float64bits(out[word])
+		bits |= h << shift
+		out[word] = math.Float64frombits(bits)
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (Float16Codec) Decode(payload []float64, n int) ([]float64, error) {
+	if len(payload) < (n+3)/4 {
+		return nil, fmt.Errorf("comm: float16 payload too short: %d words for n=%d", len(payload), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		word := i / 4
+		shift := uint(16 * (i % 4))
+		bits := math.Float64bits(payload[word])
+		out[i] = float16ToFloat64(uint16(bits >> shift))
+	}
+	return out, nil
+}
+
+// float16FromFloat64 converts with round-to-nearest-even.
+func float16FromFloat64(v float64) uint16 {
+	f32 := float32(v)
+	bits := math.Float32bits(f32)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+	switch {
+	case exp >= 31: // overflow → inf; NaN keeps a payload bit
+		if math.IsNaN(v) {
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00
+	case exp <= 0: // subnormal or zero
+		if exp < -10 {
+			return sign
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		m := (mant + half) >> shift
+		return sign | uint16(m)
+	default:
+		// Round mantissa from 23 to 10 bits, nearest-even.
+		m := mant >> 13
+		if mant&0x1fff > 0x1000 || (mant&0x1fff == 0x1000 && m&1 == 1) {
+			m++
+		}
+		h := sign | uint16(exp)<<10 + uint16(m)
+		return h
+	}
+}
+
+// float16ToFloat64 expands a binary16 value.
+func float16ToFloat64(h uint16) float64 {
+	sign := float64(1)
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h >> 10 & 0x1f)
+	mant := float64(h & 0x3ff)
+	switch exp {
+	case 0:
+		return sign * mant * math.Pow(2, -24)
+	case 31:
+		if mant != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default:
+		return sign * (1 + mant/1024) * math.Pow(2, float64(exp-15))
+	}
+}
+
+// TopKCodec keeps the k largest-magnitude entries as (index, value) pairs.
+// Payload layout: [count, idx₀, val₀, idx₁, val₁, …].
+type TopKCodec struct {
+	// K is the number of entries to keep; when FractionK > 0, k is computed
+	// as ceil(FractionK·n) instead.
+	K         int
+	FractionK float64
+}
+
+// Name implements Codec.
+func (c TopKCodec) Name() string { return "topk" }
+
+func (c TopKCodec) kFor(n int) int {
+	k := c.K
+	if c.FractionK > 0 {
+		k = int(math.Ceil(c.FractionK * float64(n)))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// CompressedLen implements Codec.
+func (c TopKCodec) CompressedLen(n int) int { return 1 + 2*c.kFor(n) }
+
+// Encode implements Codec.
+func (c TopKCodec) Encode(src []float64) []float64 {
+	k := c.kFor(len(src))
+	idx := make([]int, len(src))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection via full sort is O(n log n); fine at these sizes.
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(src[idx[a]]) > math.Abs(src[idx[b]])
+	})
+	out := make([]float64, 1+2*k)
+	out[0] = float64(k)
+	sel := idx[:k]
+	sort.Ints(sel) // deterministic order for reproducibility
+	for i, j := range sel {
+		out[1+2*i] = float64(j)
+		out[2+2*i] = src[j]
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (c TopKCodec) Decode(payload []float64, n int) ([]float64, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("comm: empty top-k payload")
+	}
+	k := int(payload[0])
+	if len(payload) < 1+2*k {
+		return nil, fmt.Errorf("comm: top-k payload truncated: %d < %d", len(payload), 1+2*k)
+	}
+	out := make([]float64, n)
+	for i := 0; i < k; i++ {
+		j := int(payload[1+2*i])
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("comm: top-k index %d out of range %d", j, n)
+		}
+		out[j] = payload[2+2*i]
+	}
+	return out, nil
+}
+
+// CompressedAllreduceMean averages data across ranks through the codec:
+// each rank's contribution is compressed, allgathered, decoded and
+// averaged. For sparsifying codecs the result is a biased estimate whose
+// residual the caller may keep for error feedback (returned as the
+// difference between input and the encoded-decoded local contribution).
+func (c *Communicator) CompressedAllreduceMean(data []float64, codec Codec) (residual []float64, err error) {
+	n := len(data)
+	encoded := codec.Encode(data)
+	// Local residual for error feedback: x − dec(enc(x)).
+	selfDecoded, err := codec.Decode(encoded, n)
+	if err != nil {
+		return nil, err
+	}
+	residual = make([]float64, n)
+	for i := range residual {
+		residual[i] = data[i] - selfDecoded[i]
+	}
+	blocks, err := c.AllgatherV(encoded)
+	if err != nil {
+		return nil, err
+	}
+	for i := range data {
+		data[i] = 0
+	}
+	inv := 1 / float64(len(blocks))
+	for _, b := range blocks {
+		dec, err := codec.Decode(b, n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range dec {
+			data[i] += v * inv
+		}
+	}
+	return residual, nil
+}

@@ -1,0 +1,202 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat16RoundTripExactValues(t *testing.T) {
+	// Values exactly representable in binary16 must round trip exactly.
+	exact := []float64{0, 1, -1, 0.5, 2, 1024, -0.25, 65504 /* max half */}
+	for _, v := range exact {
+		h := float16FromFloat64(v)
+		back := float16ToFloat64(h)
+		if back != v {
+			t.Errorf("float16 round trip %v → %v", v, back)
+		}
+	}
+}
+
+func TestFloat16SpecialValues(t *testing.T) {
+	if !math.IsInf(float16ToFloat64(float16FromFloat64(1e10)), 1) {
+		t.Error("overflow should map to +Inf")
+	}
+	if !math.IsInf(float16ToFloat64(float16FromFloat64(math.Inf(-1))), -1) {
+		t.Error("-Inf should survive")
+	}
+	if !math.IsNaN(float16ToFloat64(float16FromFloat64(math.NaN()))) {
+		t.Error("NaN should survive")
+	}
+	if float16ToFloat64(float16FromFloat64(1e-12)) != 0 {
+		t.Error("tiny values flush to zero")
+	}
+}
+
+// Property: half-precision quantization error is bounded by 2⁻¹⁰ relative
+// for normal-range values.
+func TestFloat16RelativeErrorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := rng.NormFloat64()
+		if math.Abs(v) < 1e-4 {
+			return true
+		}
+		back := float16ToFloat64(float16FromFloat64(v))
+		return math.Abs(back-v) <= math.Abs(v)*1.0/1024+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat16CodecVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Float16Codec{}
+	for _, n := range []int{1, 3, 4, 5, 17, 100} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		enc := c.Encode(src)
+		if len(enc) != c.CompressedLen(n) {
+			t.Fatalf("n=%d: payload %d words, want %d", n, len(enc), c.CompressedLen(n))
+		}
+		dec, err := c.Decode(enc, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range src {
+			if math.Abs(dec[i]-src[i]) > math.Abs(src[i])/512+1e-4 {
+				t.Fatalf("n=%d elem %d: %v vs %v", n, i, dec[i], src[i])
+			}
+		}
+	}
+	if _, err := c.Decode([]float64{0}, 100); err == nil {
+		t.Error("short payload should error")
+	}
+}
+
+func TestTopKCodecKeepsLargest(t *testing.T) {
+	c := TopKCodec{K: 2}
+	src := []float64{0.1, -5, 0.2, 3, 0}
+	enc := c.Encode(src)
+	dec, err := c.Decode(enc, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, -5, 0, 3, 0}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("dec = %v, want %v", dec, want)
+		}
+	}
+}
+
+func TestTopKCodecFraction(t *testing.T) {
+	c := TopKCodec{FractionK: 0.25}
+	if k := c.kFor(100); k != 25 {
+		t.Errorf("kFor(100) = %d, want 25", k)
+	}
+	if k := c.kFor(1); k != 1 {
+		t.Errorf("kFor(1) = %d, want 1", k)
+	}
+	// K clamps to n.
+	big := TopKCodec{K: 50}
+	if k := big.kFor(10); k != 10 {
+		t.Errorf("clamped k = %d", k)
+	}
+}
+
+func TestTopKCodecErrors(t *testing.T) {
+	c := TopKCodec{K: 2}
+	if _, err := c.Decode(nil, 5); err == nil {
+		t.Error("empty payload should error")
+	}
+	if _, err := c.Decode([]float64{2, 0, 1}, 5); err == nil {
+		t.Error("truncated payload should error")
+	}
+	if _, err := c.Decode([]float64{1, 99, 1}, 5); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}
+
+// Property: top-k residual + decoded reconstruction = original.
+func TestTopKResidualDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		c := TopKCodec{K: 1 + rng.Intn(4)}
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		dec, err := c.Decode(c.Encode(src), n)
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			// Every position is either kept exactly or zeroed.
+			if dec[i] != 0 && dec[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedAllreduceMeanFloat16(t *testing.T) {
+	runWorld(t, 3, func(c *Communicator) error {
+		data := []float64{float64(c.Rank()), 1, 2}
+		res, err := c.CompressedAllreduceMean(data, Float16Codec{})
+		if err != nil {
+			return err
+		}
+		// Mean of {0,1,2} = 1; values small → quantization ≈ exact.
+		want := []float64{1, 1, 2}
+		for i := range want {
+			if math.Abs(data[i]-want[i]) > 1e-3 {
+				return fmt.Errorf("mean = %v, want %v", data, want)
+			}
+		}
+		for _, r := range res {
+			if math.Abs(r) > 1e-3 {
+				return fmt.Errorf("float16 residual too large: %v", res)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCompressedAllreduceMeanTopKWithErrorFeedback(t *testing.T) {
+	// With k=1 only the largest entry of each rank survives one round, but
+	// accumulating residuals (error feedback) recovers the rest over
+	// repeated rounds — the standard sparsified-SGD result.
+	runWorld(t, 2, func(c *Communicator) error {
+		grad := []float64{4, 1} // same on both ranks
+		acc := []float64{0, 0}  // error-feedback accumulator
+		sum := []float64{0, 0}  // what the optimizer would integrate
+		codec := TopKCodec{K: 1}
+		for round := 0; round < 8; round++ {
+			buf := []float64{grad[0] + acc[0], grad[1] + acc[1]}
+			res, err := c.CompressedAllreduceMean(buf, codec)
+			if err != nil {
+				return err
+			}
+			acc = res
+			sum[0] += buf[0]
+			sum[1] += buf[1]
+		}
+		// Over 8 rounds the integrated update should approach 8×grad in
+		// ratio: both coordinates must have been transmitted.
+		if sum[1] == 0 {
+			return fmt.Errorf("error feedback never flushed the small coordinate")
+		}
+		return nil
+	})
+}

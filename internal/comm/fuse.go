@@ -1,0 +1,97 @@
+package comm
+
+import (
+	"repro/internal/tensor"
+)
+
+// DefaultFusionBytes mirrors Horovod's default fusion-buffer threshold
+// (paper §II-D: "usually set as 16 MB or 32 MB to guarantee that each
+// allreduce() is bandwidth dominated").
+const DefaultFusionBytes = 16 << 20
+
+// Fuser batches small tensors into large allreduce payloads, imitating
+// Horovod's tensor-fusion buffer. Callers Add tensors (in identical order on
+// every rank) and Flush when done; tensors are averaged in place.
+type Fuser struct {
+	comm      *Communicator
+	limit     int // bytes
+	pending   []*tensor.Tensor
+	pendingSz int // bytes
+	handles   []*Handle
+	fusedBufs [][]float64
+	fusedSets [][]*tensor.Tensor
+}
+
+// NewFuser creates a fusion buffer over comm with the given byte threshold.
+// A non-positive limit selects DefaultFusionBytes.
+func NewFuser(comm *Communicator, limitBytes int) *Fuser {
+	if limitBytes <= 0 {
+		limitBytes = DefaultFusionBytes
+	}
+	return &Fuser{comm: comm, limit: limitBytes}
+}
+
+// Add enqueues t for averaging. When the pending set exceeds the fusion
+// threshold, an asynchronous fused allreduce is launched.
+func (f *Fuser) Add(t *tensor.Tensor) {
+	f.pending = append(f.pending, t)
+	f.pendingSz += 8 * t.Len()
+	if f.pendingSz >= f.limit {
+		f.launch()
+	}
+}
+
+// launch packs the pending tensors into one buffer and starts an async
+// mean-allreduce on it.
+func (f *Fuser) launch() {
+	if len(f.pending) == 0 {
+		return
+	}
+	total := 0
+	for _, t := range f.pending {
+		total += t.Len()
+	}
+	buf := make([]float64, total)
+	off := 0
+	for _, t := range f.pending {
+		copy(buf[off:], t.Data)
+		off += t.Len()
+	}
+	f.handles = append(f.handles, f.comm.AllreduceMeanAsync(buf))
+	f.fusedBufs = append(f.fusedBufs, buf)
+	f.fusedSets = append(f.fusedSets, f.pending)
+	f.pending = nil
+	f.pendingSz = 0
+}
+
+// Flush launches any remaining fused operation, waits for all in-flight
+// operations, and scatters results back into the original tensors.
+func (f *Fuser) Flush() error {
+	f.launch()
+	for i, h := range f.handles {
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		buf := f.fusedBufs[i]
+		off := 0
+		for _, t := range f.fusedSets[i] {
+			copy(t.Data, buf[off:off+t.Len()])
+			off += t.Len()
+		}
+	}
+	f.handles = f.handles[:0]
+	f.fusedBufs = f.fusedBufs[:0]
+	f.fusedSets = f.fusedSets[:0]
+	return nil
+}
+
+// AllreduceMeanTensors averages a set of tensors across ranks through a
+// fusion buffer — the convenience entry point the trainer uses for gradient
+// exchange.
+func AllreduceMeanTensors(c *Communicator, limitBytes int, ts ...*tensor.Tensor) error {
+	fu := NewFuser(c, limitBytes)
+	for _, t := range ts {
+		fu.Add(t)
+	}
+	return fu.Flush()
+}

@@ -1,0 +1,119 @@
+package comm
+
+import (
+	"fmt"
+)
+
+// HierarchicalAllreduceMean averages data across all ranks using a
+// two-level algorithm that mirrors Horovod's hierarchical allreduce on
+// multi-GPU nodes (the paper's platform has 4 V100s per node):
+//
+//  1. intra-group reduce: every member sends to its group leader, which
+//     accumulates (models fast intra-node links, e.g. NVLink);
+//  2. inter-leader ring allreduce over one representative per group
+//     (models the inter-node InfiniBand fabric);
+//  3. intra-group broadcast of the result from each leader.
+//
+// groupSize is the number of consecutive ranks per group (a trailing group
+// may be smaller). The result equals AllreduceMean exactly.
+func (c *Communicator) HierarchicalAllreduceMean(data []float64, groupSize int) error {
+	p := c.Size()
+	if groupSize <= 1 || groupSize >= p {
+		return c.AllreduceMean(data)
+	}
+	r := c.Rank()
+	base := c.nextOp()
+	group := r / groupSize
+	leader := group * groupSize
+	numGroups := (p + groupSize - 1) / groupSize
+
+	// Phase 1: members → leader.
+	if r != leader {
+		if err := c.t.Send(leader, opTag(base, 1), data); err != nil {
+			return err
+		}
+	} else {
+		end := leader + groupSize
+		if end > p {
+			end = p
+		}
+		for m := leader + 1; m < end; m++ {
+			in, err := c.t.Recv(m, opTag(base, 1))
+			if err != nil {
+				return err
+			}
+			if len(in) != len(data) {
+				return fmt.Errorf("comm: hierarchical phase-1 size mismatch: %d != %d", len(in), len(data))
+			}
+			for i := range data {
+				data[i] += in[i]
+			}
+		}
+	}
+
+	// Phase 2: ring allreduce among leaders. Leader g exchanges with
+	// neighbouring leaders by group index.
+	if r == leader && numGroups > 1 {
+		counts, displs := split(len(data), numGroups)
+		nextLeader := mod(group+1, numGroups) * groupSize
+		prevLeader := mod(group-1, numGroups) * groupSize
+		chunk := func(i int) []float64 { return data[displs[i] : displs[i]+counts[i]] }
+		for s := 0; s < numGroups-1; s++ {
+			sendIdx := mod(group-s, numGroups)
+			recvIdx := mod(group-s-1, numGroups)
+			errCh := c.sendAsync(nextLeader, opTag(base, uint16Step(2, s)), chunk(sendIdx))
+			in, err := c.t.Recv(prevLeader, opTag(base, uint16Step(2, s)))
+			if err != nil {
+				return err
+			}
+			if serr := <-errCh; serr != nil {
+				return serr
+			}
+			dst := chunk(recvIdx)
+			for i := range dst {
+				dst[i] += in[i]
+			}
+		}
+		for s := 0; s < numGroups-1; s++ {
+			sendIdx := mod(group+1-s, numGroups)
+			recvIdx := mod(group-s, numGroups)
+			errCh := c.sendAsync(nextLeader, opTag(base, uint16Step(3, s)), chunk(sendIdx))
+			in, err := c.t.Recv(prevLeader, opTag(base, uint16Step(3, s)))
+			if err != nil {
+				return err
+			}
+			if serr := <-errCh; serr != nil {
+				return serr
+			}
+			copy(chunk(recvIdx), in)
+		}
+	}
+
+	// Phase 3: leader → members, with the mean scaling applied once on the
+	// leader before distribution.
+	if r == leader {
+		inv := 1 / float64(p)
+		for i := range data {
+			data[i] *= inv
+		}
+		end := leader + groupSize
+		if end > p {
+			end = p
+		}
+		for m := leader + 1; m < end; m++ {
+			if err := c.t.Send(m, opTag(base, 4), data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	in, err := c.t.Recv(leader, opTag(base, 4))
+	if err != nil {
+		return err
+	}
+	copy(data, in)
+	return nil
+}
+
+// uint16Step packs (phase, step) into a distinct tag step value.
+func uint16Step(phase, s int) int { return phase*4096 + s }

@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPFabric is a full-mesh TCP transport: every pair of ranks shares one
+// connection, established deterministically (lower rank listens, higher rank
+// dials) so the mesh forms without a coordinator. Wire format per message:
+//
+//	uint64 tag | uint32 count | count × float64 (little endian)
+//
+// A reader goroutine per peer demultiplexes frames into per-peer mailboxes.
+type TCPFabric struct {
+	rank, size int
+	conns      []net.Conn
+	writeMu    []sync.Mutex
+	boxes      []*mailbox
+	listener   net.Listener
+	closeOnce  sync.Once
+}
+
+// handshake frame: the dialing rank announces itself.
+type hello struct {
+	Rank uint32
+}
+
+// NewTCPFabric joins a TCP world. addrs lists every rank's listen address
+// (host:port), indexed by rank; addrs[rank] is this process's listen
+// address. The call blocks until connections to all peers are established
+// or the timeout elapses.
+func NewTCPFabric(rank int, addrs []string, timeout time.Duration) (*TCPFabric, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: rank %d out of range for %d addrs", rank, size)
+	}
+	f := &TCPFabric{
+		rank: rank, size: size,
+		conns:   make([]net.Conn, size),
+		writeMu: make([]sync.Mutex, size),
+		boxes:   make([]*mailbox, size),
+	}
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox()
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	f.listener = ln
+
+	deadline := time.Now().Add(timeout)
+	var wg sync.WaitGroup
+	errCh := make(chan error, size)
+
+	// Accept connections from all higher ranks.
+	nAccept := size - rank - 1
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nAccept; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errCh <- fmt.Errorf("comm: rank %d accept: %w", rank, err)
+				return
+			}
+			var h hello
+			if err := binary.Read(conn, binary.LittleEndian, &h.Rank); err != nil {
+				errCh <- fmt.Errorf("comm: rank %d handshake read: %w", rank, err)
+				return
+			}
+			peer := int(h.Rank)
+			if peer <= rank || peer >= size {
+				errCh <- fmt.Errorf("comm: rank %d got bad hello from %d", rank, peer)
+				return
+			}
+			f.conns[peer] = conn
+			go f.readLoop(peer, conn)
+		}
+	}()
+
+	// Dial all lower ranks.
+	for peer := 0; peer < rank; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			var conn net.Conn
+			var err error
+			for {
+				d := net.Dialer{Deadline: deadline}
+				conn, err = d.Dial("tcp", addrs[peer])
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					errCh <- fmt.Errorf("comm: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err)
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if err := binary.Write(conn, binary.LittleEndian, uint32(rank)); err != nil {
+				errCh <- fmt.Errorf("comm: rank %d handshake write: %w", rank, err)
+				return
+			}
+			f.conns[peer] = conn
+			go f.readLoop(peer, conn)
+		}(peer)
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		f.Close()
+		return nil, err
+	default:
+	}
+	return f, nil
+}
+
+// readLoop demultiplexes incoming frames from one peer into its mailbox.
+func (f *TCPFabric) readLoop(peer int, conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	hdr := make([]byte, 12)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			f.boxes[peer].close()
+			return
+		}
+		tag := binary.LittleEndian.Uint64(hdr[0:8])
+		count := binary.LittleEndian.Uint32(hdr[8:12])
+		buf := make([]byte, 8*int(count))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			f.boxes[peer].close()
+			return
+		}
+		data := make([]float64, count)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		f.boxes[peer].put(tag, data)
+	}
+}
+
+// Rank implements Transport.
+func (f *TCPFabric) Rank() int { return f.rank }
+
+// Size implements Transport.
+func (f *TCPFabric) Size() int { return f.size }
+
+// Send implements Transport.
+func (f *TCPFabric) Send(to int, tag uint64, data []float64) error {
+	if to == f.rank {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		f.boxes[f.rank].put(tag, cp)
+		return nil
+	}
+	if to < 0 || to >= f.size || f.conns[to] == nil {
+		return fmt.Errorf("comm: send to invalid/unconnected rank %d", to)
+	}
+	buf := make([]byte, 12+8*len(data))
+	binary.LittleEndian.PutUint64(buf[0:8], tag)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(data)))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[12+8*i:], math.Float64bits(v))
+	}
+	f.writeMu[to].Lock()
+	defer f.writeMu[to].Unlock()
+	_, err := f.conns[to].Write(buf)
+	return err
+}
+
+// Recv implements Transport.
+func (f *TCPFabric) Recv(from int, tag uint64) ([]float64, error) {
+	if from < 0 || from >= f.size {
+		return nil, fmt.Errorf("comm: recv from invalid rank %d", from)
+	}
+	return f.boxes[from].take(tag)
+}
+
+// Close implements Transport.
+func (f *TCPFabric) Close() error {
+	f.closeOnce.Do(func() {
+		if f.listener != nil {
+			f.listener.Close()
+		}
+		for _, c := range f.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, b := range f.boxes {
+			b.close()
+		}
+	})
+	return nil
+}
+
+var _ Transport = (*TCPFabric)(nil)

@@ -1,0 +1,140 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Standard CIFAR-style training augmentations: random crop with zero
+// padding and random horizontal flip. The paper's training recipes use
+// these on the real datasets; applying them to the synthetic stand-in
+// preserves the pipeline structure (per-batch, training-split only).
+
+// Augmenter applies randomized transforms to a batch in place.
+type Augmenter struct {
+	// Pad is the zero padding added before a random crop back to the
+	// original size (CIFAR standard: 4).
+	Pad int
+	// FlipProb is the probability of a horizontal flip per image
+	// (standard: 0.5).
+	FlipProb float64
+	rng      *rand.Rand
+}
+
+// NewAugmenter builds an augmenter with its own RNG stream.
+func NewAugmenter(pad int, flipProb float64, seed int64) *Augmenter {
+	return &Augmenter{Pad: pad, FlipProb: flipProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Apply transforms every image in the batch in place.
+func (a *Augmenter) Apply(b Batch) {
+	n, c, h, w := b.X.Shape[0], b.X.Shape[1], b.X.Shape[2], b.X.Shape[3]
+	sz := c * h * w
+	for i := 0; i < n; i++ {
+		img := tensor.FromSlice(b.X.Data[i*sz:(i+1)*sz], 1, c, h, w)
+		if a.Pad > 0 {
+			dy := a.rng.Intn(2*a.Pad+1) - a.Pad
+			dx := a.rng.Intn(2*a.Pad+1) - a.Pad
+			cropShift(img, dy, dx)
+		}
+		if a.FlipProb > 0 && a.rng.Float64() < a.FlipProb {
+			flipHorizontal(img)
+		}
+	}
+}
+
+// cropShift emulates pad-then-random-crop as a shift with zero fill: the
+// image moves by (dy, dx) and exposed borders become zero.
+func cropShift(img *tensor.Tensor, dy, dx int) {
+	c, h, w := img.Shape[1], img.Shape[2], img.Shape[3]
+	src := append([]float64(nil), img.Data...)
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			sy := y + dy
+			for x := 0; x < w; x++ {
+				sx := x + dx
+				if sy < 0 || sy >= h || sx < 0 || sx >= w {
+					img.Data[base+y*w+x] = 0
+				} else {
+					img.Data[base+y*w+x] = src[base+sy*w+sx]
+				}
+			}
+		}
+	}
+}
+
+// flipHorizontal mirrors each row of every channel.
+func flipHorizontal(img *tensor.Tensor) {
+	c, h, w := img.Shape[1], img.Shape[2], img.Shape[3]
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			row := img.Data[base+y*w : base+(y+1)*w]
+			for i, j := 0, w-1; i < j; i, j = i+1, j-1 {
+				row[i], row[j] = row[j], row[i]
+			}
+		}
+	}
+}
+
+// Normalize standardizes a dataset in place to zero mean and unit variance
+// per channel, computed over the given (training) split; returns the means
+// and stds so the same statistics can normalize the test split — the
+// standard train-statistics contract.
+func Normalize(d *Dataset) (means, stds []float64) {
+	c, h, w := d.X.Shape[1], d.X.Shape[2], d.X.Shape[3]
+	spatial := h * w
+	n := d.Len()
+	means = make([]float64, c)
+	stds = make([]float64, c)
+	cnt := float64(n * spatial)
+	for ch := 0; ch < c; ch++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * spatial
+			for s := 0; s < spatial; s++ {
+				sum += d.X.Data[base+s]
+			}
+		}
+		means[ch] = sum / cnt
+		var varSum float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * spatial
+			for s := 0; s < spatial; s++ {
+				dv := d.X.Data[base+s] - means[ch]
+				varSum += dv * dv
+			}
+		}
+		stds[ch] = sqrt(varSum / cnt)
+		if stds[ch] == 0 {
+			stds[ch] = 1
+		}
+	}
+	ApplyNormalization(d, means, stds)
+	return means, stds
+}
+
+// ApplyNormalization standardizes d with externally computed statistics.
+func ApplyNormalization(d *Dataset, means, stds []float64) {
+	c, h, w := d.X.Shape[1], d.X.Shape[2], d.X.Shape[3]
+	spatial := h * w
+	for i := 0; i < d.Len(); i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * spatial
+			inv := 1 / stds[ch]
+			for s := 0; s < spatial; s++ {
+				d.X.Data[base+s] = (d.X.Data[base+s] - means[ch]) * inv
+			}
+		}
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact of the paper's evaluation must be registered.
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"ablation-placement", "ablation-fusion", "ablation-clip", "ablation-damping",
+		"ablation-updatefreq", "profile", "memory", "ablation-compression",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	es := All()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].ID >= es[i].ID {
+			t.Fatalf("All() not sorted: %s before %s", es[i-1].ID, es[i].ID)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID resolved")
+	}
+}
+
+// TestSimulatedExperimentsRun executes every model-based experiment (they
+// are fast) and checks for sane output.
+func TestSimulatedExperimentsRun(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{
+		"table3", "table4", "table5", "table6",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"ablation-placement", "ablation-fusion",
+	} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := ByID(id)
+			var buf bytes.Buffer
+			if err := e.Run(&buf, cfg); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "== "+id) {
+				t.Errorf("output missing banner: %q", firstLine(out))
+			}
+			if len(out) < 100 {
+				t.Errorf("suspiciously short output (%d bytes)", len(out))
+			}
+		})
+	}
+}
+
+// TestTrainedExperimentsQuick smoke-runs the experiments that really train
+// networks, at the smallest scale.
+func TestTrainedExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained experiments skipped in -short")
+	}
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"table1", "fig4"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := ByID(id)
+			var buf bytes.Buffer
+			if err := e.Run(&buf, cfg); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "%") {
+				t.Error("expected accuracy percentages in output")
+			}
+		})
+	}
+}
+
+func TestFig5ReportsCrossing(t *testing.T) {
+	e, _ := ByID("fig5")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "epochs to 75.9%") {
+		t.Error("fig5 should report baseline-crossing epochs")
+	}
+}
+
+func TestTable4IncludesPaperReference(t *testing.T) {
+	e, _ := ByID("table4")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paper:") {
+		t.Error("table4 should print the paper's reference values")
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

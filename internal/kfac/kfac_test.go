@@ -1,0 +1,713 @@
+package kfac
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/linalg"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// buildTinyNet returns a small conv+linear network with deterministic
+// weights, suitable for K-FAC unit tests.
+func buildTinyNet(seed int64) *nn.Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewSequential("tiny",
+		nn.NewConv2D("conv1", 1, 3, 3, 1, 1, true, rng),
+		nn.NewReLU("relu1"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewLinear("fc", 3, 4, true, rng),
+	)
+}
+
+// runStep performs one forward/backward on deterministic data and returns
+// the loss gradient path through the net.
+func runStep(net *nn.Sequential, seed int64, batch int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.Randn(rng, 1, batch, 1, 5, 5)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.Intn(4)
+	}
+	out := net.Forward(x, true)
+	ce := nn.CrossEntropy{}
+	_, grad := ce.Loss(out, labels)
+	nn.ZeroGrads(net)
+	net.Backward(grad)
+}
+
+func TestComputeCovALinearMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewLinear("fc", 3, 2, true, rng)
+	l.SetCapture(true)
+	x := tensor.Randn(rng, 1, 5, 3)
+	l.Forward(x, true)
+	cov := ComputeCovA(l)
+	// Definition: A = (1/N) Σ āᵢāᵢᵀ with ā the bias-augmented activation.
+	want := tensor.New(4, 4)
+	for i := 0; i < 5; i++ {
+		a := make([]float64, 4)
+		copy(a, x.Data[i*3:(i+1)*3])
+		a[3] = 1
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				want.Data[r*4+c] += a[r] * a[c] / 5
+			}
+		}
+	}
+	if !cov.Equal(want, 1e-12) {
+		t.Error("linear CovA does not match definition")
+	}
+	if !linalg.IsSymmetric(cov, 1e-12) {
+		t.Error("CovA must be symmetric")
+	}
+}
+
+func TestComputeCovGLinearMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := nn.NewLinear("fc", 3, 2, true, rng)
+	l.SetCapture(true)
+	x := tensor.Randn(rng, 1, 4, 3)
+	out := l.Forward(x, true)
+	g := tensor.Randn(rng, 1, out.Shape...)
+	l.Backward(g)
+	cov := ComputeCovG(l)
+	// G = N·gᵀg for batch-averaged gradients.
+	want := tensor.MatMulT1(g, g)
+	want.Scale(4)
+	if !cov.Equal(want, 1e-12) {
+		t.Error("linear CovG does not match definition")
+	}
+}
+
+func TestComputeCovAConvShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := nn.NewConv2D("cv", 2, 3, 3, 1, 1, true, rng)
+	c.SetCapture(true)
+	x := tensor.Randn(rng, 1, 2, 2, 4, 4)
+	c.Forward(x, true)
+	cov := ComputeCovA(c)
+	// A dim = inC·k·k + 1 = 19.
+	if cov.Rows() != 19 || cov.Cols() != 19 {
+		t.Fatalf("conv CovA shape = %v, want 19x19", cov.Shape)
+	}
+	if !linalg.IsSymmetric(cov, 1e-10) {
+		t.Error("conv CovA must be symmetric")
+	}
+	// PSD: all eigenvalues ≥ −ε.
+	eg, err := linalg.SymEig(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eg.Values[0] < -1e-10 {
+		t.Errorf("conv CovA has negative eigenvalue %v", eg.Values[0])
+	}
+}
+
+func TestFactorDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lin := nn.NewLinear("fc", 7, 5, true, rng)
+	da, dg := FactorDims(lin)
+	if da != 8 || dg != 5 {
+		t.Errorf("linear dims = %d,%d want 8,5", da, dg)
+	}
+	conv := nn.NewConv2D("cv", 3, 16, 3, 1, 1, false, rng)
+	da, dg = FactorDims(conv)
+	if da != 27 || dg != 16 {
+		t.Errorf("conv dims = %d,%d want 27,16", da, dg)
+	}
+}
+
+// TestEigenPreconditionMatchesKroneckerInverse verifies Equations 13–15:
+// the eigen path computes exactly (G⊗A + γI)⁻¹ applied to vec(∇L) in the
+// layer's (out × in) orientation: M[(r,c),(r',c')] = G[r,r']·A[c,c'] + γδ.
+func TestEigenPreconditionMatchesKroneckerInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	out, in := 3, 4
+	// Random SPD factors.
+	ga := tensor.Randn(rng, 1, out, out)
+	G := tensor.MatMulT1(ga, ga)
+	ab := tensor.Randn(rng, 1, in, in)
+	A := tensor.MatMulT1(ab, ab)
+	grad := tensor.Randn(rng, 1, out, in)
+	gamma := 0.05
+
+	egA, err := linalg.SymEig(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	egG, err := linalg.SymEig(G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Preconditioner{opts: Options{Mode: EigenMode, Damping: gamma}}
+	s := &layerState{eigA: egA, eigG: egG}
+	got := p.preconditionOne(s, grad)
+
+	// Explicit: build the (out·in)×(out·in) matrix and solve.
+	dim := out * in
+	big := tensor.New(dim, dim)
+	for r := 0; r < out; r++ {
+		for c := 0; c < in; c++ {
+			for r2 := 0; r2 < out; r2++ {
+				for c2 := 0; c2 < in; c2++ {
+					v := G.At(r, r2) * A.At(c, c2)
+					if r == r2 && c == c2 {
+						v += gamma
+					}
+					big.Set(v, r*in+c, r2*in+c2)
+				}
+			}
+		}
+	}
+	inv, err := linalg.Inverse(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MatVec(inv, grad.Reshape(dim)).Reshape(out, in)
+	if !got.Equal(want, 1e-7) {
+		t.Error("eigen preconditioning != (G⊗A + γI)⁻¹ vec(grad)")
+	}
+}
+
+// TestInversePreconditionMatchesFactoredDamping verifies Equation 11/12:
+// InverseMode computes (G+γI)⁻¹ ∇L (A+γI)⁻¹ — the factored damping, which
+// differs from the eigen path's exact (G⊗A+γI)⁻¹.
+func TestInversePreconditionMatchesFactoredDamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	out, in := 4, 3
+	ga := tensor.Randn(rng, 1, out, out)
+	G := tensor.MatMulT1(ga, ga)
+	ab := tensor.Randn(rng, 1, in, in)
+	A := tensor.MatMulT1(ab, ab)
+	grad := tensor.Randn(rng, 1, out, in)
+	gamma := 0.1
+
+	invA, err := linalg.InverseDamped(A, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invG, err := linalg.InverseDamped(G, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Preconditioner{opts: Options{Mode: InverseMode, Damping: gamma}}
+	s := &layerState{invA: invA, invG: invG}
+	got := p.preconditionOne(s, grad)
+	want := tensor.MatMul(tensor.MatMul(invG, grad), invA)
+	if !got.Equal(want, 1e-10) {
+		t.Error("inverse preconditioning != (G+γI)⁻¹∇L(A+γI)⁻¹")
+	}
+}
+
+// Property: with zero damping and well-conditioned factors, preconditioning
+// then multiplying back by the Fisher recovers the gradient (the
+// preconditioner really applies the inverse).
+func TestPreconditionRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		out := 2 + rng.Intn(4)
+		in := 2 + rng.Intn(4)
+		ga := tensor.Randn(rng, 1, out, out)
+		G := tensor.MatMulT1(ga, ga)
+		ab := tensor.Randn(rng, 1, in, in)
+		A := tensor.MatMulT1(ab, ab)
+		// Regularize to keep conditioning sane.
+		for i := 0; i < out; i++ {
+			G.Data[i*out+i] += 1
+		}
+		for i := 0; i < in; i++ {
+			A.Data[i*in+i] += 1
+		}
+		grad := tensor.Randn(rng, 1, out, in)
+		egA, err := linalg.SymEig(A)
+		if err != nil {
+			return false
+		}
+		egG, err := linalg.SymEig(G)
+		if err != nil {
+			return false
+		}
+		p := &Preconditioner{opts: Options{Mode: EigenMode, Damping: 0}}
+		s := &layerState{eigA: egA, eigG: egG}
+		pc := p.preconditionOne(s, grad)
+		// Fisher · pc = G · pc · A should recover grad.
+		back := tensor.MatMul(tensor.MatMul(G, pc), A)
+		return back.Equal(grad, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleProcessStepRunsAndChangesGrads(t *testing.T) {
+	net := buildTinyNet(7)
+	p := New(net, nil, Options{InvUpdateFreq: 2, FactorUpdateFreq: 1})
+	runStep(net, 100, 8)
+	before := net.Params()[0].Grad.Clone()
+	if err := p.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	after := net.Params()[0].Grad
+	if before.Equal(after, 0) {
+		t.Error("preconditioning left gradients unchanged")
+	}
+	if after.HasNaN() {
+		t.Error("preconditioned gradient has NaN")
+	}
+}
+
+func TestStaleDecompositionsBetweenUpdates(t *testing.T) {
+	net := buildTinyNet(8)
+	p := New(net, nil, Options{InvUpdateFreq: 10, FactorUpdateFreq: 10})
+	runStep(net, 101, 4)
+	if err := p.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	// Capture decomposition pointers after the first (updating) step.
+	eigA0 := p.states[0].eigA
+	// Steps 1..9 must reuse the same decompositions (stale information).
+	for i := 0; i < 5; i++ {
+		runStep(net, int64(200+i), 4)
+		if err := p.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+		if p.states[0].eigA != eigA0 {
+			t.Fatal("decomposition recomputed before InvUpdateFreq elapsed")
+		}
+	}
+	// Iteration 10 (the 11th step) triggers a refresh.
+	for i := 0; i < 5; i++ {
+		runStep(net, int64(300+i), 4)
+		if err := p.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.states[0].eigA == eigA0 {
+		t.Fatal("decomposition not refreshed at InvUpdateFreq")
+	}
+}
+
+func TestKLClipBoundsUpdateNorm(t *testing.T) {
+	net := buildTinyNet(9)
+	// Huge gradients: ν must kick in and shrink the preconditioned grad.
+	pClip := New(net, nil, Options{KLClip: 1e-6, FactorUpdateFreq: 1, InvUpdateFreq: 1})
+	runStep(net, 102, 8)
+	// Inflate gradients.
+	for _, pr := range net.Params() {
+		pr.Grad.Scale(100)
+	}
+	if err := pClip.Step(1.0); err != nil {
+		t.Fatal(err)
+	}
+	clipped := net.Params()[0].Grad.Norm2()
+
+	net2 := buildTinyNet(9)
+	pNo := New(net2, nil, Options{KLClip: -1, FactorUpdateFreq: 1, InvUpdateFreq: 1})
+	runStep(net2, 102, 8)
+	for _, pr := range net2.Params() {
+		pr.Grad.Scale(100)
+	}
+	if err := pNo.Step(1.0); err != nil {
+		t.Fatal(err)
+	}
+	unclipped := net2.Params()[0].Grad.Norm2()
+	if clipped >= unclipped {
+		t.Errorf("kl-clip did not shrink update: clipped=%v unclipped=%v", clipped, unclipped)
+	}
+}
+
+// TestDistributedMatchesSingleProcess is the core correctness property of
+// Algorithm 1: with identical (already averaged) gradients and factors, the
+// distributed round-robin scheme must produce the same preconditioned
+// gradients as a single process, on every rank.
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	for _, strategy := range []Strategy{RoundRobin, SizeGreedy, LayerWise} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			const p = 3
+			const batch = 6
+
+			// Reference: single process over the full batch.
+			ref := buildTinyNet(42)
+			pref := New(ref, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1})
+			runStep(ref, 999, batch)
+			if err := pref.Step(0.1); err != nil {
+				t.Fatal(err)
+			}
+			wantGrad := ref.Params()[0].Grad.Clone()
+
+			// Distributed: each rank sees the same data (so local gradients
+			// and factors equal the averaged ones).
+			fab := comm.NewInprocFabric(p)
+			grads := make([]*tensor.Tensor, p)
+			var wg sync.WaitGroup
+			errs := make([]error, p)
+			for r := 0; r < p; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					net := buildTinyNet(42)
+					c := comm.NewCommunicator(fab.Endpoint(r))
+					prec := New(net, c, Options{
+						Strategy: strategy, FactorUpdateFreq: 1, InvUpdateFreq: 1,
+					})
+					runStep(net, 999, batch)
+					if err := prec.Step(0.1); err != nil {
+						errs[r] = err
+						return
+					}
+					grads[r] = net.Params()[0].Grad.Clone()
+				}(r)
+			}
+			wg.Wait()
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+			for r := 0; r < p; r++ {
+				if !grads[r].Equal(wantGrad, 1e-8) {
+					t.Errorf("rank %d preconditioned grad differs from single-process reference", r)
+				}
+			}
+		})
+	}
+}
+
+func TestDistributedStaleStepsSkipFactorComm(t *testing.T) {
+	// With InvUpdateFreq=4 and FactorUpdateFreq=2, steps 1 and 3 must not
+	// communicate anything K-FAC-related. We verify the end state stays
+	// consistent across ranks (implicitly checking no deadlock from
+	// asymmetric collective schedules).
+	const p = 2
+	fab := comm.NewInprocFabric(p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	grads := make([]*tensor.Tensor, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			net := buildTinyNet(50)
+			c := comm.NewCommunicator(fab.Endpoint(r))
+			prec := New(net, c, Options{FactorUpdateFreq: 2, InvUpdateFreq: 4})
+			for i := 0; i < 6; i++ {
+				runStep(net, int64(700+i), 4)
+				if err := prec.Step(0.1); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+			grads[r] = net.Params()[0].Grad.Clone()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if !grads[0].Equal(grads[1], 1e-9) {
+		t.Error("ranks diverged under stale-update schedule")
+	}
+}
+
+func TestAssignRoundRobinInterleavesFactors(t *testing.T) {
+	refs := []FactorRef{
+		{0, false, 10}, {0, true, 20},
+		{1, false, 30}, {1, true, 40},
+		{2, false, 50}, {2, true, 60},
+	}
+	got := Assign(RoundRobin, refs, 4)
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Assign = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAssignLayerWiseKeepsLayerTogether(t *testing.T) {
+	refs := []FactorRef{
+		{0, false, 10}, {0, true, 20},
+		{1, false, 30}, {1, true, 40},
+	}
+	got := Assign(LayerWise, refs, 3)
+	if got[0] != got[1] || got[2] != got[3] {
+		t.Errorf("LayerWise split a layer's factors: %v", got)
+	}
+	if got[0] == got[2] {
+		t.Errorf("LayerWise did not spread layers: %v", got)
+	}
+}
+
+func TestAssignSizeGreedyBalancesBetterThanRoundRobin(t *testing.T) {
+	// Pathological size distribution: one huge factor followed by many tiny
+	// ones. Round-robin gives one worker the huge factor plus its share of
+	// tiny ones; greedy gives the huge factor a worker to itself.
+	refs := []FactorRef{{0, false, 512}}
+	for i := 1; i < 16; i++ {
+		refs = append(refs, FactorRef{i, false, 64})
+	}
+	workers := 4
+	rr := WorkerLoads(refs, Assign(RoundRobin, refs, workers), workers)
+	gr := WorkerLoads(refs, Assign(SizeGreedy, refs, workers), workers)
+	_, rrMax, _ := LoadStats(rr)
+	_, grMax, _ := LoadStats(gr)
+	if grMax > rrMax {
+		t.Errorf("greedy max load %v worse than round-robin %v", grMax, rrMax)
+	}
+}
+
+func TestAssignSingleWorker(t *testing.T) {
+	refs := []FactorRef{{0, false, 4}, {0, true, 4}}
+	for _, s := range []Strategy{RoundRobin, LayerWise, SizeGreedy} {
+		got := Assign(s, refs, 1)
+		for _, w := range got {
+			if w != 0 {
+				t.Errorf("%v: assignment %v with one worker", s, got)
+			}
+		}
+	}
+}
+
+func TestWorkerLoadsAndStats(t *testing.T) {
+	refs := []FactorRef{{0, false, 2}, {0, true, 2}, {1, false, 2}}
+	assign := []int{0, 0, 1}
+	loads := WorkerLoads(refs, assign, 2)
+	if loads[0] != 2*linalg.EigFLOPs(2) || loads[1] != linalg.EigFLOPs(2) {
+		t.Errorf("loads = %v", loads)
+	}
+	minL, maxL, mean := LoadStats(loads)
+	if minL != loads[1] || maxL != loads[0] {
+		t.Errorf("stats = %v %v %v", minL, maxL, mean)
+	}
+	if m, _, _ := LoadStats(nil); m != 0 {
+		t.Error("empty LoadStats should be zeros")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, mode := range []Mode{EigenMode, InverseMode} {
+		src := &Preconditioner{opts: Options{Mode: mode, Damping: 0.1}}
+		dst := &Preconditioner{opts: Options{Mode: mode, Damping: 0.1}}
+		n := 5
+		spd := tensor.MatMulT1(tensor.Randn(rng, 1, n, n), tensor.Randn(rng, 1, n, n))
+		// Use the same matrix for A-side of layer 0.
+		s := &layerState{}
+		if mode == EigenMode {
+			eg, err := linalg.SymEig(spd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.eigA = eg
+		} else {
+			inv, err := linalg.InverseDamped(spd, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.invA = inv
+		}
+		src.states = []*layerState{s}
+		dst.states = []*layerState{{}}
+		buf := src.appendRecord(nil, 0, 0, s, false)
+		if err := dst.consumeRecords(buf); err != nil {
+			t.Fatal(err)
+		}
+		if mode == EigenMode {
+			if !dst.states[0].eigA.Q.Equal(s.eigA.Q, 0) {
+				t.Error("eigen Q round trip failed")
+			}
+			for i := range s.eigA.Values {
+				if dst.states[0].eigA.Values[i] != s.eigA.Values[i] {
+					t.Error("eigen values round trip failed")
+				}
+			}
+		} else if !dst.states[0].invA.Equal(s.invA, 0) {
+			t.Error("inverse round trip failed")
+		}
+	}
+}
+
+func TestConsumeRecordsTruncated(t *testing.T) {
+	p := &Preconditioner{opts: Options{Mode: EigenMode}}
+	p.states = []*layerState{{}}
+	if err := p.consumeRecords([]float64{0, 0}); err == nil {
+		t.Error("expected error for truncated header")
+	}
+	if err := p.consumeRecords([]float64{0, 0, 5, 1, 2}); err == nil {
+		t.Error("expected error for truncated payload")
+	}
+	if err := p.consumeRecords([]float64{9, 0, 1, 1, 1}); err == nil {
+		t.Error("expected error for unknown layer")
+	}
+}
+
+func TestParamSchedule(t *testing.T) {
+	s := ParamSchedule{Initial: 0.003, DecayEpochs: []int{10, 20}, Factor: 0.5}
+	if s.At(0) != 0.003 {
+		t.Errorf("At(0) = %v", s.At(0))
+	}
+	if math.Abs(s.At(10)-0.0015) > 1e-15 {
+		t.Errorf("At(10) = %v", s.At(10))
+	}
+	if math.Abs(s.At(25)-0.00075) > 1e-15 {
+		t.Errorf("At(25) = %v", s.At(25))
+	}
+	// Zero factor defaults to 0.5.
+	s2 := ParamSchedule{Initial: 1, DecayEpochs: []int{1}}
+	if s2.At(2) != 0.5 {
+		t.Errorf("default factor At(2) = %v", s2.At(2))
+	}
+}
+
+func TestSettersAndAccessors(t *testing.T) {
+	net := buildTinyNet(11)
+	p := New(net, nil, Options{})
+	if p.NumLayers() != 2 {
+		t.Errorf("NumLayers = %d, want 2", p.NumLayers())
+	}
+	p.SetDamping(0.01)
+	if p.Damping() != 0.01 {
+		t.Error("SetDamping")
+	}
+	p.SetInvUpdateFreq(0)
+	if p.InvUpdateFreq() != 1 {
+		t.Error("SetInvUpdateFreq should clamp to 1")
+	}
+	p.SetFactorUpdateFreq(7)
+	if p.opts.FactorUpdateFreq != 7 {
+		t.Error("SetFactorUpdateFreq")
+	}
+	if p.StepCount() != 0 {
+		t.Error("StepCount should start at 0")
+	}
+	refs := p.FactorRefs()
+	if len(refs) != 4 {
+		t.Errorf("FactorRefs = %d, want 4", len(refs))
+	}
+}
+
+func TestInverseModeSingleProcess(t *testing.T) {
+	net := buildTinyNet(12)
+	p := New(net, nil, Options{Mode: InverseMode, FactorUpdateFreq: 1, InvUpdateFreq: 1, Damping: 0.01})
+	runStep(net, 500, 8)
+	if err := p.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if net.Params()[0].Grad.HasNaN() {
+		t.Error("inverse-mode preconditioned grad has NaN")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	cases := map[Strategy]string{
+		RoundRobin:   "K-FAC-opt",
+		LayerWise:    "K-FAC-lw",
+		SizeGreedy:   "K-FAC-greedy",
+		Strategy(99): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if EigenMode.String() == InverseMode.String() {
+		t.Error("modes should print differently")
+	}
+}
+
+func TestParamsPerWorker(t *testing.T) {
+	refs := []FactorRef{
+		{0, false, 4}, {0, true, 8},
+		{1, false, 4}, {1, true, 8},
+	}
+	assign := []int{0, 1, 0, 1}
+	params := map[int]int{0: 100, 1: 200}
+	got := ParamsPerWorker(refs, assign, 2, params)
+	if got[0] != 0 || got[1] != 300 {
+		t.Errorf("ParamsPerWorker = %v", got)
+	}
+}
+
+func TestDistributedFourRanksManyLayers(t *testing.T) {
+	// More ranks than layers: exercises idle-worker handling in placement
+	// and ensures allgather with empty contributions works.
+	const p = 6 // tiny net has 2 layers = 4 factors < 6 ranks
+	fab := comm.NewInprocFabric(p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	grads := make([]*tensor.Tensor, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			net := buildTinyNet(77)
+			c := comm.NewCommunicator(fab.Endpoint(r))
+			prec := New(net, c, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1})
+			runStep(net, 888, 4)
+			if err := prec.Step(0.1); err != nil {
+				errs[r] = fmt.Errorf("step: %w", err)
+				return
+			}
+			grads[r] = net.Params()[0].Grad.Clone()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 1; r < p; r++ {
+		if !grads[r].Equal(grads[0], 1e-9) {
+			t.Errorf("rank %d grads diverged", r)
+		}
+	}
+}
+
+func TestSkipLayersExcluded(t *testing.T) {
+	net := buildTinyNet(90)
+	p := New(net, nil, Options{SkipLayers: []string{"fc"}})
+	if p.NumLayers() != 1 {
+		t.Errorf("NumLayers = %d, want 1 after skipping fc", p.NumLayers())
+	}
+	// The skipped layer's gradient must be untouched by Step.
+	runStep(net, 900, 4)
+	var fcGrad *tensor.Tensor
+	for _, l := range nn.CapturableLayers(net) {
+		if l.Name() == "fc" {
+			fcGrad = l.CombinedGrad()
+		}
+	}
+	if err := p.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range nn.CapturableLayers(net) {
+		if l.Name() == "fc" {
+			if !l.CombinedGrad().Equal(fcGrad, 0) {
+				t.Error("skipped layer's gradient was modified")
+			}
+		}
+	}
+}
+
+func TestMaxFactorDimExcludesWideLayers(t *testing.T) {
+	net := buildTinyNet(91)
+	// conv1 A dim = 1·3·3+1 = 10; fc A dim = 4. Limit 5 keeps only fc.
+	p := New(net, nil, Options{MaxFactorDim: 5})
+	if p.NumLayers() != 1 {
+		t.Errorf("NumLayers = %d, want 1 under MaxFactorDim", p.NumLayers())
+	}
+}

@@ -1,0 +1,583 @@
+package kfac
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/linalg"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Mode selects how (F̂+γI)⁻¹ is applied to the gradient.
+type Mode int
+
+const (
+	// EigenMode preconditions via the eigendecomposition expansion
+	// (Equations 13–15) — the paper's default, chosen in §IV-A because it
+	// preserves convergence at large batch sizes.
+	EigenMode Mode = iota
+	// InverseMode preconditions via explicit damped inverses
+	// (Equation 11) — kept for the Table I ablation.
+	InverseMode
+)
+
+// String names the mode as in Table I.
+func (m Mode) String() string {
+	if m == InverseMode {
+		return "K-FAC w/ Inverse"
+	}
+	return "K-FAC w/ Eigen-decomp."
+}
+
+// Options configures the preconditioner. Zero values select the paper's
+// defaults where one exists.
+type Options struct {
+	Mode     Mode
+	Strategy Strategy
+	// Damping is the Tikhonov regularizer γ (paper: 0.001 for ImageNet).
+	Damping float64
+	// FactorDecay is the running-average coefficient ξ in Equations 16–17
+	// (typical range [0.9, 1); default 0.95).
+	FactorDecay float64
+	// KLClip is the κ constant of the gradient-scaling Equation 18
+	// (default 0.001). Negative disables clipping.
+	KLClip float64
+	// FactorUpdateFreq is the interval in iterations between factor
+	// recomputation + allreduce (default 10). The paper observes factors
+	// can be updated 10× more frequently than the decompositions.
+	FactorUpdateFreq int
+	// InvUpdateFreq is the paper's kfac-update-freq: the interval between
+	// eigendecomposition (or inverse) updates (default 100).
+	InvUpdateFreq int
+	// FusionBytes bounds the factor-allreduce fusion buffer
+	// (default comm.DefaultFusionBytes).
+	FusionBytes int
+	// PiDamping enables the π-corrected factored damping split of
+	// Martens & Grosse (§6.3): (A+π√γI)⊗(G+√γ/π·I) instead of the
+	// uniform γ on the combined eigenvalue product. Off by default,
+	// matching the paper.
+	PiDamping bool
+	// SkipLayers lists layer names to leave to the first-order optimizer
+	// (the reference implementation's skip_layers option).
+	SkipLayers []string
+	// MaxFactorDim excludes layers whose A or G factor would exceed this
+	// dimension (0 = no limit) — a memory/time guard for very wide layers.
+	MaxFactorDim int
+}
+
+func (o *Options) fillDefaults() {
+	if o.Damping == 0 {
+		o.Damping = 0.001
+	}
+	if o.FactorDecay == 0 {
+		o.FactorDecay = 0.95
+	}
+	if o.KLClip == 0 {
+		o.KLClip = 0.001
+	}
+	if o.FactorUpdateFreq == 0 {
+		o.FactorUpdateFreq = 10
+	}
+	if o.InvUpdateFreq == 0 {
+		o.InvUpdateFreq = 100
+	}
+}
+
+// layerState carries the per-layer K-FAC quantities.
+type layerState struct {
+	layer nn.KFACCapturable
+	// Running-average Kronecker factors (Equations 16–17).
+	A, G *tensor.Tensor
+	// Eigen decompositions (EigenMode).
+	eigA, eigG *linalg.Eigen
+	// Damped inverses (InverseMode).
+	invA, invG *tensor.Tensor
+	// Worker assignments for the A and G factors (equal under LayerWise).
+	aWorker, gWorker int
+	// π correction for factored damping (1 when disabled); recomputed at
+	// every decomposition update from the averaged factors, so it is
+	// identical on every rank without communication.
+	pi float64
+}
+
+// Preconditioner is the distributed K-FAC gradient preconditioner
+// (Algorithm 1). Create it once over a model; call Step after the backward
+// pass and gradient allreduce of each iteration, before the optimizer step,
+// exactly as in the paper's Listing 1.
+type Preconditioner struct {
+	comm   *comm.Communicator // nil means single-process
+	opts   Options
+	states []*layerState
+	step   int
+	stats  StageStats
+}
+
+// New builds a preconditioner over every K-FAC-capturable layer of model
+// (Linear and Conv2D; all other layers are left to the wrapped optimizer).
+// c may be nil for single-process training.
+func New(model nn.Layer, c *comm.Communicator, opts Options) *Preconditioner {
+	opts.fillDefaults()
+	skip := make(map[string]bool, len(opts.SkipLayers))
+	for _, n := range opts.SkipLayers {
+		skip[n] = true
+	}
+	layers := nn.CapturableLayers(model)
+	p := &Preconditioner{comm: c, opts: opts}
+	for _, l := range layers {
+		if skip[l.Name()] {
+			continue
+		}
+		if opts.MaxFactorDim > 0 {
+			da, dg := FactorDims(l)
+			if da > opts.MaxFactorDim || dg > opts.MaxFactorDim {
+				continue
+			}
+		}
+		l.SetCapture(true)
+		p.states = append(p.states, &layerState{layer: l})
+	}
+	p.assignWorkers()
+	return p
+}
+
+// size returns the world size (1 when running without a communicator).
+func (p *Preconditioner) size() int {
+	if p.comm == nil {
+		return 1
+	}
+	return p.comm.Size()
+}
+
+// rank returns the local rank (0 when running without a communicator).
+func (p *Preconditioner) rank() int {
+	if p.comm == nil {
+		return 0
+	}
+	return p.comm.Rank()
+}
+
+// assignWorkers computes the deterministic factor→worker map (Algorithm 1,
+// line 9). Every rank computes the same assignment, so no communication is
+// needed.
+func (p *Preconditioner) assignWorkers() {
+	refs := p.FactorRefs()
+	assign := Assign(p.opts.Strategy, refs, p.size())
+	for i, s := range p.states {
+		s.aWorker = assign[2*i]
+		s.gWorker = assign[2*i+1]
+	}
+}
+
+// FactorRefs lists the factors in placement order: (A₀, G₁, A₁, G₂, ...) —
+// layer-major with A before G.
+func (p *Preconditioner) FactorRefs() []FactorRef {
+	refs := make([]FactorRef, 0, 2*len(p.states))
+	for i, s := range p.states {
+		da, dg := FactorDims(s.layer)
+		refs = append(refs, FactorRef{Layer: i, IsG: false, Dim: da})
+		refs = append(refs, FactorRef{Layer: i, IsG: true, Dim: dg})
+	}
+	return refs
+}
+
+// NumLayers returns the number of preconditioned layers.
+func (p *Preconditioner) NumLayers() int { return len(p.states) }
+
+// Damping returns the current Tikhonov damping γ.
+func (p *Preconditioner) Damping() float64 { return p.opts.Damping }
+
+// SetDamping updates γ; used by the damping-decay schedule (§V-C).
+func (p *Preconditioner) SetDamping(g float64) { p.opts.Damping = g }
+
+// InvUpdateFreq returns the current kfac-update-freq.
+func (p *Preconditioner) InvUpdateFreq() int { return p.opts.InvUpdateFreq }
+
+// SetInvUpdateFreq updates kfac-update-freq; used by the update-frequency
+// decay schedule (§V-C).
+func (p *Preconditioner) SetInvUpdateFreq(k int) {
+	if k < 1 {
+		k = 1
+	}
+	p.opts.InvUpdateFreq = k
+}
+
+// SetFactorUpdateFreq updates the factor update interval.
+func (p *Preconditioner) SetFactorUpdateFreq(k int) {
+	if k < 1 {
+		k = 1
+	}
+	p.opts.FactorUpdateFreq = k
+}
+
+// StepCount returns the number of completed Step calls.
+func (p *Preconditioner) StepCount() int { return p.step }
+
+// Step preconditions every registered layer's gradient in place. Call after
+// gradients have been computed (and averaged across ranks) and before the
+// optimizer update. lr is the current learning rate, used by the κ gradient
+// scaling (Equation 18).
+func (p *Preconditioner) Step(lr float64) error {
+	iter := p.step
+	p.step++
+
+	if iter%p.opts.FactorUpdateFreq == 0 {
+		if err := p.updateFactors(); err != nil {
+			return err
+		}
+	}
+	if iter%p.opts.InvUpdateFreq == 0 {
+		if err := p.updateDecompositions(); err != nil {
+			return err
+		}
+	}
+	return p.precondition(lr)
+}
+
+// updateFactors recomputes the local covariance factors, folds them into the
+// running averages, and averages the running averages across workers
+// (Algorithm 1, step 1).
+func (p *Preconditioner) updateFactors() error {
+	start := time.Now()
+	for _, s := range p.states {
+		covA := ComputeCovA(s.layer)
+		covG := ComputeCovG(s.layer)
+		if s.A == nil {
+			s.A, s.G = covA, covG
+		} else {
+			s.A.Lerp(p.opts.FactorDecay, covA)
+			s.G.Lerp(p.opts.FactorDecay, covG)
+		}
+	}
+	p.stats.add(&p.stats.FactorCompute, time.Since(start))
+	p.stats.mu.Lock()
+	p.stats.FactorUpdates++
+	p.stats.mu.Unlock()
+	if p.comm == nil || p.comm.Size() == 1 {
+		return nil
+	}
+	commStart := time.Now()
+	fu := comm.NewFuser(p.comm, p.opts.FusionBytes)
+	for _, s := range p.states {
+		fu.Add(s.A)
+		fu.Add(s.G)
+	}
+	err := fu.Flush()
+	p.stats.add(&p.stats.FactorComm, time.Since(commStart))
+	return err
+}
+
+// updateDecompositions eigendecomposes (or inverts) the factors this rank
+// owns and allgathers the results so every rank holds all decompositions
+// (Algorithm 1, step 2). Under LayerWise the results stay on the owning
+// worker — the layer-wise scheme broadcasts preconditioned gradients
+// instead (§VI-C3).
+func (p *Preconditioner) updateDecompositions() error {
+	mine := p.rank()
+	distributed := p.comm != nil && p.comm.Size() > 1
+	start := time.Now()
+	for _, s := range p.states {
+		if p.opts.PiDamping {
+			s.pi = PiCorrection(s.A, s.G)
+		} else {
+			s.pi = 1
+		}
+	}
+	for i, s := range p.states {
+		if !distributed || s.aWorker == mine {
+			if err := p.decomposeA(s); err != nil {
+				return fmt.Errorf("kfac: layer %d A: %w", i, err)
+			}
+		}
+		if !distributed || s.gWorker == mine {
+			if err := p.decomposeG(s); err != nil {
+				return fmt.Errorf("kfac: layer %d G: %w", i, err)
+			}
+		}
+	}
+	p.stats.add(&p.stats.EigCompute, time.Since(start))
+	p.stats.mu.Lock()
+	p.stats.EigUpdates++
+	p.stats.mu.Unlock()
+	if !distributed || p.opts.Strategy == LayerWise {
+		return nil
+	}
+	commStart := time.Now()
+	err := p.allgatherDecompositions()
+	p.stats.add(&p.stats.EigComm, time.Since(commStart))
+	return err
+}
+
+func (p *Preconditioner) decomposeA(s *layerState) error {
+	if p.opts.Mode == InverseMode {
+		gamma := p.opts.Damping
+		if p.opts.PiDamping {
+			gamma, _ = p.dampingSplit(s)
+		}
+		inv, err := linalg.InverseDamped(s.A, gamma)
+		if err != nil {
+			return err
+		}
+		s.invA = inv
+		return nil
+	}
+	eg, err := linalg.SymEig(s.A)
+	if err != nil {
+		return err
+	}
+	clampEigen(eg)
+	s.eigA = eg
+	return nil
+}
+
+func (p *Preconditioner) decomposeG(s *layerState) error {
+	if p.opts.Mode == InverseMode {
+		gamma := p.opts.Damping
+		if p.opts.PiDamping {
+			_, gamma = p.dampingSplit(s)
+		}
+		inv, err := linalg.InverseDamped(s.G, gamma)
+		if err != nil {
+			return err
+		}
+		s.invG = inv
+		return nil
+	}
+	eg, err := linalg.SymEig(s.G)
+	if err != nil {
+		return err
+	}
+	clampEigen(eg)
+	s.eigG = eg
+	return nil
+}
+
+// clampEigen zeroes the tiny negative eigenvalues round-off can produce on
+// PSD covariance factors; damping then keeps the denominator positive.
+func clampEigen(eg *linalg.Eigen) {
+	for i, v := range eg.Values {
+		if v < 0 {
+			eg.Values[i] = 0
+		}
+	}
+}
+
+// precondition rewrites every layer's gradient with its preconditioned
+// version (Algorithm 1, step 3) and applies the κ scaling of Equation 18.
+func (p *Preconditioner) precondition(lr float64) error {
+	start := time.Now()
+	defer func() {
+		p.stats.add(&p.stats.Precondition, time.Since(start))
+		p.stats.mu.Lock()
+		p.stats.Steps++
+		p.stats.mu.Unlock()
+	}()
+	n := len(p.states)
+	grads := make([]*tensor.Tensor, n)
+	preconds := make([]*tensor.Tensor, n)
+	for i, s := range p.states {
+		grads[i] = s.layer.CombinedGrad()
+	}
+
+	if p.opts.Strategy == LayerWise && p.comm != nil && p.comm.Size() > 1 {
+		// K-FAC-lw: the owning worker preconditions the whole layer and
+		// broadcasts the result every iteration.
+		for i, s := range p.states {
+			var pc *tensor.Tensor
+			if s.gWorker == p.rank() {
+				pc = p.preconditionOne(s, grads[i])
+			} else {
+				pc = tensor.New(grads[i].Shape...)
+			}
+			if err := p.comm.Broadcast(pc.Data, s.gWorker); err != nil {
+				return err
+			}
+			preconds[i] = pc
+		}
+	} else {
+		// K-FAC-opt: every rank holds all decompositions and preconditions
+		// locally — no per-iteration communication.
+		for i, s := range p.states {
+			preconds[i] = p.preconditionOne(s, grads[i])
+		}
+	}
+
+	// κ gradient scaling (Equation 18): ν = min(1, sqrt(κ / (lr²·Σ|v·g|))).
+	nu := 1.0
+	if p.opts.KLClip > 0 {
+		var vg float64
+		for i := range p.states {
+			vg += preconds[i].Dot(grads[i]) * lr * lr
+		}
+		if vg = math.Abs(vg); vg > 0 {
+			nu = math.Min(1, math.Sqrt(p.opts.KLClip/vg))
+		}
+	}
+	for i, s := range p.states {
+		if nu != 1 {
+			preconds[i].Scale(nu)
+		}
+		s.layer.SetCombinedGrad(preconds[i])
+	}
+	return nil
+}
+
+// preconditionOne computes (F̂ᵢ+γI)⁻¹∇L for a single layer from the stored
+// decompositions.
+func (p *Preconditioner) preconditionOne(s *layerState, grad *tensor.Tensor) *tensor.Tensor {
+	if p.opts.Mode == InverseMode {
+		if s.invA == nil || s.invG == nil {
+			panic("kfac: precondition before inverse update")
+		}
+		// Equation 10: G⁻¹ ∇L A⁻¹ (inverses already damped).
+		return tensor.MatMul(tensor.MatMul(s.invG, grad), s.invA)
+	}
+	if s.eigA == nil || s.eigG == nil {
+		panic("kfac: precondition before eigendecomposition update")
+	}
+	// Equations 13–15:
+	//   V₁ = Q_Gᵀ ∇L Q_A
+	//   V₂ = V₁ / (υ_G υ_Aᵀ + γ)
+	//   out = Q_G V₂ Q_Aᵀ
+	qg, qa := s.eigG.Q, s.eigA.Q
+	v1 := tensor.MatMul(tensor.MatMulT1(qg, grad), qa)
+	out, in := v1.Rows(), v1.Cols()
+	if p.opts.PiDamping {
+		// Factored split: denominator (λ_A + π√γ)(λ_G + √γ/π).
+		ga, gg := p.dampingSplit(s)
+		for r := 0; r < out; r++ {
+			vg := s.eigG.Values[r] + gg
+			row := v1.Data[r*in : (r+1)*in]
+			for c := 0; c < in; c++ {
+				row[c] /= vg * (s.eigA.Values[c] + ga)
+			}
+		}
+	} else {
+		for r := 0; r < out; r++ {
+			vg := s.eigG.Values[r]
+			row := v1.Data[r*in : (r+1)*in]
+			for c := 0; c < in; c++ {
+				row[c] /= vg*s.eigA.Values[c] + p.opts.Damping
+			}
+		}
+	}
+	return tensor.MatMulT2(tensor.MatMul(qg, v1), qa)
+}
+
+// allgatherDecompositions shares each rank's computed decompositions with
+// all ranks (Algorithm 1, line 18). Results are serialized as a float64
+// stream: per record [layerIdx, isG, n, values…(eigen only), payload…].
+func (p *Preconditioner) allgatherDecompositions() error {
+	mine := p.rank()
+	var buf []float64
+	for i, s := range p.states {
+		if s.aWorker == mine {
+			buf = p.appendRecord(buf, float64(i), 0, s, false)
+		}
+		if s.gWorker == mine {
+			buf = p.appendRecord(buf, float64(i), 1, s, true)
+		}
+	}
+	blocks, err := p.comm.AllgatherV(buf)
+	if err != nil {
+		return err
+	}
+	for r, block := range blocks {
+		if r == mine {
+			continue
+		}
+		if err := p.consumeRecords(block); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Preconditioner) appendRecord(buf []float64, layer, isG float64, s *layerState, g bool) []float64 {
+	if p.opts.Mode == InverseMode {
+		m := s.invA
+		if g {
+			m = s.invG
+		}
+		n := m.Rows()
+		buf = append(buf, layer, isG, float64(n))
+		return append(buf, m.Data...)
+	}
+	eg := s.eigA
+	if g {
+		eg = s.eigG
+	}
+	n := eg.Q.Rows()
+	buf = append(buf, layer, isG, float64(n))
+	buf = append(buf, eg.Values...)
+	return append(buf, eg.Q.Data...)
+}
+
+func (p *Preconditioner) consumeRecords(block []float64) error {
+	pos := 0
+	for pos < len(block) {
+		if pos+3 > len(block) {
+			return fmt.Errorf("kfac: truncated decomposition record header")
+		}
+		layer := int(block[pos])
+		isG := block[pos+1] != 0
+		n := int(block[pos+2])
+		pos += 3
+		if layer < 0 || layer >= len(p.states) {
+			return fmt.Errorf("kfac: record for unknown layer %d", layer)
+		}
+		s := p.states[layer]
+		if p.opts.Mode == InverseMode {
+			if pos+n*n > len(block) {
+				return fmt.Errorf("kfac: truncated inverse record")
+			}
+			m := tensor.FromSlice(append([]float64(nil), block[pos:pos+n*n]...), n, n)
+			pos += n * n
+			if isG {
+				s.invG = m
+			} else {
+				s.invA = m
+			}
+			continue
+		}
+		if pos+n+n*n > len(block) {
+			return fmt.Errorf("kfac: truncated eigen record")
+		}
+		vals := append([]float64(nil), block[pos:pos+n]...)
+		pos += n
+		q := tensor.FromSlice(append([]float64(nil), block[pos:pos+n*n]...), n, n)
+		pos += n * n
+		eg := &linalg.Eigen{Q: q, Values: vals}
+		if isG {
+			s.eigG = eg
+		} else {
+			s.eigA = eg
+		}
+	}
+	return nil
+}
+
+// ParamSchedule is the paper's "decay by a fixed scalar at fixed epochs"
+// schedule used for both damping (§V-C) and kfac-update-freq decay.
+type ParamSchedule struct {
+	Initial     float64
+	DecayEpochs []int
+	Factor      float64 // multiplier applied at each listed epoch
+}
+
+// At returns the scheduled value for the given zero-based epoch.
+func (s ParamSchedule) At(epoch int) float64 {
+	v := s.Initial
+	f := s.Factor
+	if f == 0 {
+		f = 0.5
+	}
+	for _, e := range s.DecayEpochs {
+		if epoch >= e {
+			v *= f
+		}
+	}
+	return v
+}

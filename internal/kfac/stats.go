@@ -1,0 +1,86 @@
+package kfac
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StageStats accumulates wall-clock time per K-FAC pipeline stage of the
+// *real* implementation — the measured analogue of the paper's Table V
+// profile (factor computation vs communication, eigendecomposition vs
+// communication) plus the per-iteration preconditioning cost.
+type StageStats struct {
+	mu sync.Mutex
+
+	FactorCompute time.Duration
+	FactorComm    time.Duration
+	EigCompute    time.Duration
+	EigComm       time.Duration
+	Precondition  time.Duration
+
+	FactorUpdates int
+	EigUpdates    int
+	Steps         int
+}
+
+func (s *StageStats) add(dst *time.Duration, d time.Duration) {
+	s.mu.Lock()
+	*dst += d
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy safe for concurrent readers.
+func (s *StageStats) Snapshot() StageStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StageStats{
+		FactorCompute: s.FactorCompute,
+		FactorComm:    s.FactorComm,
+		EigCompute:    s.EigCompute,
+		EigComm:       s.EigComm,
+		Precondition:  s.Precondition,
+		FactorUpdates: s.FactorUpdates,
+		EigUpdates:    s.EigUpdates,
+		Steps:         s.Steps,
+	}
+}
+
+// PerFactorUpdate returns mean (compute, comm) time per factor update.
+func (s *StageStats) PerFactorUpdate() (comp, comm time.Duration) {
+	snap := s.Snapshot()
+	if snap.FactorUpdates == 0 {
+		return 0, 0
+	}
+	n := time.Duration(snap.FactorUpdates)
+	return snap.FactorCompute / n, snap.FactorComm / n
+}
+
+// PerEigUpdate returns mean (compute, comm) time per decomposition update.
+func (s *StageStats) PerEigUpdate() (comp, comm time.Duration) {
+	snap := s.Snapshot()
+	if snap.EigUpdates == 0 {
+		return 0, 0
+	}
+	n := time.Duration(snap.EigUpdates)
+	return snap.EigCompute / n, snap.EigComm / n
+}
+
+// String renders the profile in the Table V layout.
+func (s *StageStats) String() string {
+	fc, fm := s.PerFactorUpdate()
+	ec, em := s.PerEigUpdate()
+	snap := s.Snapshot()
+	perStep := time.Duration(0)
+	if snap.Steps > 0 {
+		perStep = snap.Precondition / time.Duration(snap.Steps)
+	}
+	return fmt.Sprintf(
+		"kfac profile: factor Tcomp=%v Tcomm=%v (×%d) | eig Tcomp=%v Tcomm=%v (×%d) | precond/step=%v (×%d)",
+		fc.Round(time.Microsecond), fm.Round(time.Microsecond), snap.FactorUpdates,
+		ec.Round(time.Microsecond), em.Round(time.Microsecond), snap.EigUpdates,
+		perStep.Round(time.Microsecond), snap.Steps)
+}
+
+// Stats returns the preconditioner's accumulated stage profile.
+func (p *Preconditioner) Stats() *StageStats { return &p.stats }

@@ -1,0 +1,260 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Additional dense decompositions: LU with partial pivoting (general
+// solves and determinants), Householder QR (orthogonalization and
+// least-squares), and power/inverse iteration for extremal eigenvalue
+// estimates. The K-FAC core only needs SymEig and the damped inverses;
+// these support the wider library surface (condition estimation, adaptive
+// damping diagnostics, test oracles).
+
+// LU holds a PA = LU factorization with partial pivoting. L is unit lower
+// triangular and U upper triangular, packed into a single matrix; Piv
+// records row exchanges; Sign is the permutation parity (±1).
+type LU struct {
+	packed *tensor.Tensor
+	Piv    []int
+	Sign   float64
+}
+
+// LUDecompose factors square matrix a. Returns ErrSingular when a pivot
+// vanishes.
+func LUDecompose(a *tensor.Tensor) (*LU, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("linalg: LU requires square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	m := a.Clone()
+	piv := make([]int, n)
+	sign := 1.0
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		maxAbs := math.Abs(m.Data[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.Data[r*n+col]); v > maxAbs {
+				maxAbs = v
+				p = r
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		piv[col] = p
+		if p != col {
+			swapRows(m.Data, n, p, col)
+			sign = -sign
+		}
+		pivVal := m.Data[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m.Data[r*n+col] / pivVal
+			m.Data[r*n+col] = f
+			for j := col + 1; j < n; j++ {
+				m.Data[r*n+j] -= f * m.Data[col*n+j]
+			}
+		}
+	}
+	return &LU{packed: m, Piv: piv, Sign: sign}, nil
+}
+
+// Det returns the determinant from the factorization.
+func (lu *LU) Det() float64 {
+	n := lu.packed.Rows()
+	d := lu.Sign
+	for i := 0; i < n; i++ {
+		d *= lu.packed.Data[i*n+i]
+	}
+	return d
+}
+
+// Solve solves A x = b for one right-hand side using the factorization.
+func (lu *LU) Solve(b []float64) ([]float64, error) {
+	n := lu.packed.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: LU solve needs rhs of length %d, got %d", n, len(b))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		if p := lu.Piv[i]; p != i {
+			x[i], x[p] = x[p], x[i]
+		}
+	}
+	// Forward solve L y = Pb (unit diagonal).
+	for i := 1; i < n; i++ {
+		var s float64
+		for k := 0; k < i; k++ {
+			s += lu.packed.Data[i*n+k] * x[k]
+		}
+		x[i] -= s
+	}
+	// Back solve U x = y.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for k := i + 1; k < n; k++ {
+			s += lu.packed.Data[i*n+k] * x[k]
+		}
+		x[i] = (x[i] - s) / lu.packed.Data[i*n+i]
+	}
+	return x, nil
+}
+
+// QR holds a Householder QR factorization A = Q R with Q (m×n,
+// orthonormal columns, thin form) and R (n×n upper triangular), for m ≥ n.
+type QR struct {
+	Q *tensor.Tensor
+	R *tensor.Tensor
+}
+
+// QRDecompose factors a (m×n, m ≥ n) by Householder reflections.
+func QRDecompose(a *tensor.Tensor) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires m ≥ n, got %dx%d", m, n)
+	}
+	r := a.Clone()
+	// Store Householder vectors.
+	vs := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the reflector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += r.Data[i*n+k] * r.Data[i*n+k]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs[k] = nil
+			continue
+		}
+		if r.Data[k*n+k] > 0 {
+			norm = -norm
+		}
+		v := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r.Data[i*n+k]
+		}
+		v[0] -= norm
+		var vnorm float64
+		for _, x := range v {
+			vnorm += x * x
+		}
+		if vnorm == 0 {
+			vs[k] = nil
+			continue
+		}
+		// Apply H = I − 2vvᵀ/(vᵀv) to the trailing submatrix.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.Data[i*n+j]
+			}
+			f := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				r.Data[i*n+j] -= f * v[i-k]
+			}
+		}
+		vs[k] = v
+	}
+	// Extract R (upper n×n) and zero below.
+	rOut := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rOut.Data[i*n+j] = r.Data[i*n+j]
+		}
+	}
+	// Accumulate Q = H₀H₁…H_{n−1} applied to the first n columns of I.
+	q := tensor.New(m, n)
+	for j := 0; j < n; j++ {
+		q.Data[j*n+j] = 1
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		var vnorm float64
+		for _, x := range v {
+			vnorm += x * x
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.Data[i*n+j]
+			}
+			f := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				q.Data[i*n+j] -= f * v[i-k]
+			}
+		}
+	}
+	return &QR{Q: q, R: rOut}, nil
+}
+
+// PowerIterate estimates the dominant eigenvalue (by magnitude) of
+// symmetric matrix a and its eigenvector, via power iteration with the
+// given start vector length checks. Returns after iters sweeps or when the
+// Rayleigh quotient stabilizes within tol.
+func PowerIterate(a *tensor.Tensor, iters int, tol float64) (float64, *tensor.Tensor, error) {
+	n := a.Rows()
+	if a.Cols() != n || n == 0 {
+		return 0, nil, fmt.Errorf("linalg: PowerIterate requires non-empty square matrix")
+	}
+	v := tensor.New(n)
+	for i := range v.Data {
+		// Deterministic, non-degenerate start: alternating pattern.
+		v.Data[i] = 1 / float64(i+1)
+	}
+	normalize(v)
+	prev := math.Inf(1)
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		av := tensor.MatVec(a, v)
+		lambda = v.Dot(av)
+		norm := av.Norm2()
+		if norm == 0 {
+			return 0, v, nil // a ≈ 0 matrix
+		}
+		av.Scale(1 / norm)
+		v = av
+		if math.Abs(lambda-prev) <= tol*(1+math.Abs(lambda)) {
+			break
+		}
+		prev = lambda
+	}
+	return lambda, v, nil
+}
+
+func normalize(v *tensor.Tensor) {
+	n := v.Norm2()
+	if n > 0 {
+		v.Scale(1 / n)
+	}
+}
+
+// Det returns the determinant of a via LU.
+func Det(a *tensor.Tensor) (float64, error) {
+	lu, err := LUDecompose(a)
+	if err == ErrSingular {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return lu.Det(), nil
+}
+
+// SolveLinear solves A x = b via LU with partial pivoting.
+func SolveLinear(a *tensor.Tensor, b []float64) ([]float64, error) {
+	lu, err := LUDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	return lu.Solve(b)
+}

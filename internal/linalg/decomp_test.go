@@ -1,0 +1,194 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestLUSolveRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := randSPD(rng, n, 0.5)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := tensor.MatVec(a, tensor.FromSlice(x, n))
+		got, err := SolveLinear(a, b.Data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				t.Fatalf("n=%d: solve mismatch at %d: %v vs %v", n, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestLUDetKnown(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	d, err := Det(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-(-2)) > 1e-12 {
+		t.Errorf("Det = %v, want -2", d)
+	}
+}
+
+func TestDetSingularIsZero(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, 2, 2, 4}, 2, 2)
+	d, err := Det(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("Det of singular = %v", d)
+	}
+}
+
+// Property: det(AB) = det(A)·det(B).
+func TestDetMultiplicativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := tensor.Randn(rng, 1, n, n)
+		b := tensor.Randn(rng, 1, n, n)
+		da, err := Det(a)
+		if err != nil {
+			return false
+		}
+		db, err := Det(b)
+		if err != nil {
+			return false
+		}
+		dab, err := Det(tensor.MatMul(a, b))
+		if err != nil {
+			return false
+		}
+		return math.Abs(dab-da*db) < 1e-6*(1+math.Abs(da*db))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := LUDecompose(tensor.New(2, 3)); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestLUSolveWrongLength(t *testing.T) {
+	lu, err := LUDecompose(tensor.Eye(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lu.Solve([]float64{1, 2}); err == nil {
+		t.Error("expected error for wrong rhs length")
+	}
+}
+
+func TestQRReconstruct(t *testing.T) {
+	for _, dims := range [][2]int{{3, 3}, {5, 3}, {10, 7}, {4, 1}} {
+		rng := rand.New(rand.NewSource(int64(dims[0]*10 + dims[1])))
+		a := tensor.Randn(rng, 1, dims[0], dims[1])
+		qr, err := QRDecompose(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := tensor.MatMul(qr.Q, qr.R)
+		if !back.Equal(a, 1e-9) {
+			t.Errorf("%v: QR does not reconstruct A", dims)
+		}
+	}
+}
+
+func TestQROrthonormalColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := tensor.Randn(rng, 1, 12, 5)
+	qr, err := QRDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qtq := tensor.MatMulT1(qr.Q, qr.Q)
+	if !qtq.Equal(tensor.Eye(5), 1e-10) {
+		t.Error("QᵀQ != I")
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := tensor.Randn(rng, 1, 6, 4)
+	qr, err := QRDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			if qr.R.At(i, j) != 0 {
+				t.Fatalf("R[%d,%d] = %v below diagonal", i, j, qr.R.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRWideRejected(t *testing.T) {
+	if _, err := QRDecompose(tensor.New(2, 4)); err == nil {
+		t.Error("expected error for wide matrix")
+	}
+}
+
+func TestPowerIterateDominantEigenvalue(t *testing.T) {
+	// Diagonal matrix: dominant eigenvalue is the largest diagonal entry.
+	a := tensor.New(4, 4)
+	for i, v := range []float64{1, 7, 3, 2} {
+		a.Set(v, i, i)
+	}
+	lambda, vec, err := PowerIterate(a, 500, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-7) > 1e-6 {
+		t.Errorf("dominant eigenvalue = %v, want 7", lambda)
+	}
+	// Eigenvector concentrates on coordinate 1.
+	if math.Abs(math.Abs(vec.Data[1])-1) > 1e-4 {
+		t.Errorf("eigenvector = %v", vec.Data)
+	}
+}
+
+func TestPowerIterateMatchesSymEig(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randSPD(rng, 15, 0.1)
+	lambda, _, err := PowerIterate(a, 2000, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eg.Values[len(eg.Values)-1]
+	if math.Abs(lambda-want) > 1e-6*(1+want) {
+		t.Errorf("power iteration %v vs symeig %v", lambda, want)
+	}
+}
+
+func TestPowerIterateZeroMatrix(t *testing.T) {
+	lambda, _, err := PowerIterate(tensor.New(3, 3), 10, 1e-10)
+	if err != nil || lambda != 0 {
+		t.Errorf("zero matrix: %v, %v", lambda, err)
+	}
+}
+
+func TestPowerIterateEmpty(t *testing.T) {
+	if _, _, err := PowerIterate(tensor.New(0, 0), 10, 1e-10); err == nil {
+		t.Error("expected error for empty matrix")
+	}
+}

@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestJacobiReconstruct(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 30} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := randSPD(rng, n, 0.1)
+		eg, err := SymEigJacobi(a, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !eg.Reconstruct().Equal(a, 1e-8*float64(n)) {
+			t.Errorf("n=%d: Jacobi QΛQᵀ != A", n)
+		}
+	}
+}
+
+// Property: Jacobi and Householder+QL agree on eigenvalues — the
+// cross-solver oracle check.
+func TestJacobiMatchesSymEigProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		b := tensor.Randn(rng, 1, n, n)
+		a := b.Clone()
+		a.Add(tensor.Transpose(b)) // symmetric, possibly indefinite
+		e1, err := SymEig(a)
+		if err != nil {
+			return false
+		}
+		e2, err := SymEigJacobi(a, 0)
+		if err != nil {
+			return false
+		}
+		for i := range e1.Values {
+			if math.Abs(e1.Values[i]-e2.Values[i]) > 1e-8*(1+math.Abs(e1.Values[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJacobiOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSPD(rng, 20, 0.2)
+	eg, err := SymEigJacobi(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qtq := tensor.MatMulT1(eg.Q, eg.Q)
+	if !qtq.Equal(tensor.Eye(20), 1e-10) {
+		t.Error("Jacobi eigenvectors not orthonormal")
+	}
+}
+
+func TestJacobiEdgeCases(t *testing.T) {
+	if _, err := SymEigJacobi(tensor.New(2, 3), 0); err == nil {
+		t.Error("non-square should error")
+	}
+	eg, err := SymEigJacobi(tensor.New(0, 0), 0)
+	if err != nil || len(eg.Values) != 0 {
+		t.Error("empty matrix should succeed trivially")
+	}
+	// Already diagonal: zero sweeps needed.
+	d := tensor.New(3, 3)
+	d.Set(5, 0, 0)
+	d.Set(-1, 1, 1)
+	d.Set(2, 2, 2)
+	eg, err = SymEigJacobi(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 2, 5}
+	for i := range want {
+		if math.Abs(eg.Values[i]-want[i]) > 1e-12 {
+			t.Errorf("diagonal eigenvalues = %v", eg.Values)
+		}
+	}
+}

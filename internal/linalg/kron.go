@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"repro/internal/tensor"
+)
+
+// Kron returns the Kronecker product A ⊗ B (Equation 6 of the paper): for
+// A (m×n) and B (p×q) the result is (mp × nq) with block (i,j) equal to
+// a[i,j]·B. K-FAC approximates each layer's Fisher block as A ⊗ G; this
+// explicit product is used only for verification and small problems — the
+// whole point of K-FAC is never to materialize it.
+func Kron(a, b *tensor.Tensor) *tensor.Tensor {
+	m, n := a.Rows(), a.Cols()
+	p, q := b.Rows(), b.Cols()
+	out := tensor.New(m*p, n*q)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			aij := a.Data[i*n+j]
+			if aij == 0 {
+				continue
+			}
+			for r := 0; r < p; r++ {
+				dst := out.Data[((i*p+r)*n*q + j*q):]
+				src := b.Data[r*q : (r+1)*q]
+				for c := 0; c < q; c++ {
+					dst[c] = aij * src[c]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KronMatVec computes (A ⊗ B) vec(X) without materializing the Kronecker
+// product, using the identity (A ⊗ B) vec(X) = vec(B X Aᵀ), where
+// vec stacks X's rows (row-major vectorization, matching tensor layout).
+// X must be (rows(A) input side) — concretely, for A (m×n), B (p×q),
+// X is n×q viewed as the vectorized operand, and the result is m×p...
+//
+// To keep orientation unambiguous this helper takes X with shape q×n
+// (row-major vec(X) has length n·q) and returns B X Aᵀ with shape p×m.
+// The K-FAC preconditioner uses the equivalent orientation
+// G⁻¹ ∇L A⁻¹ directly (Equation 10), so this function exists mainly to
+// verify that identity against the explicit Kron in tests.
+func KronMatVec(a, b, x *tensor.Tensor) *tensor.Tensor {
+	bx := tensor.MatMul(b, x)
+	return tensor.MatMulT2(bx, a)
+}
+
+// KronVec flattens matrix x into the row-major vec used by KronMatVec.
+func KronVec(x *tensor.Tensor) *tensor.Tensor {
+	return x.Reshape(x.Len())
+}
+
+// AddScaledIdentity returns a + γI without modifying a.
+func AddScaledIdentity(a *tensor.Tensor, gamma float64) *tensor.Tensor {
+	n := a.Rows()
+	out := a.Clone()
+	for i := 0; i < n; i++ {
+		out.Data[i*n+i] += gamma
+	}
+	return out
+}
+
+// SymmetrizeInPlace replaces a with (a + aᵀ)/2. Covariance factors are
+// symmetric in exact arithmetic; this clears accumulated round-off skew
+// before decomposition.
+func SymmetrizeInPlace(a *tensor.Tensor) {
+	n := a.Rows()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (a.Data[i*n+j] + a.Data[j*n+i])
+			a.Data[i*n+j] = v
+			a.Data[j*n+i] = v
+		}
+	}
+}
+
+// Trace returns the trace of square matrix a.
+func Trace(a *tensor.Tensor) float64 {
+	n := a.Rows()
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a.Data[i*n+i]
+	}
+	return s
+}
+
+// IsSymmetric reports whether a is symmetric to within tol.
+func IsSymmetric(a *tensor.Tensor, tol float64) bool {
+	n := a.Rows()
+	if a.Cols() != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := a.Data[i*n+j] - a.Data[j*n+i]
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+// Package metrics provides the evaluation utilities the experiments use on
+// top of raw logits: top-k accuracy (the paper reports Top-1 on ImageNet;
+// Top-5 is standard alongside), confusion matrices, and running meters for
+// loss/throughput aggregation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// TopKAccuracy returns the fraction of rows whose true label appears among
+// the k largest logits.
+func TopKAccuracy(logits *tensor.Tensor, labels []int, k int) float64 {
+	n := logits.Rows()
+	if n == 0 || k < 1 {
+		return 0
+	}
+	classes := logits.Cols()
+	if k > classes {
+		k = classes
+	}
+	correct := 0
+	idx := make([]int, classes)
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+		for j := 0; j < k; j++ {
+			if idx[j] == labels[i] {
+				correct++
+				break
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// ConfusionMatrix counts (true, predicted) pairs over batches of logits.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  []int // Counts[true*Classes+pred]
+}
+
+// NewConfusionMatrix allocates a k-class confusion matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	return &ConfusionMatrix{Classes: k, Counts: make([]int, k*k)}
+}
+
+// Update adds a batch of predictions.
+func (c *ConfusionMatrix) Update(logits *tensor.Tensor, labels []int) {
+	for i := 0; i < logits.Rows(); i++ {
+		pred := logits.ArgMaxRow(i)
+		c.Counts[labels[i]*c.Classes+pred]++
+	}
+}
+
+// Total returns the number of recorded examples.
+func (c *ConfusionMatrix) Total() int {
+	t := 0
+	for _, v := range c.Counts {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns trace/total.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	diag := 0
+	for i := 0; i < c.Classes; i++ {
+		diag += c.Counts[i*c.Classes+i]
+	}
+	return float64(diag) / float64(t)
+}
+
+// PerClassRecall returns recall for each true class (NaN-free: classes with
+// no examples report 0).
+func (c *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, c.Classes)
+	for i := 0; i < c.Classes; i++ {
+		var row int
+		for j := 0; j < c.Classes; j++ {
+			row += c.Counts[i*c.Classes+j]
+		}
+		if row > 0 {
+			out[i] = float64(c.Counts[i*c.Classes+i]) / float64(row)
+		}
+	}
+	return out
+}
+
+// String renders a compact matrix for ≤ 16 classes, or a summary.
+func (c *ConfusionMatrix) String() string {
+	if c.Classes > 16 {
+		return fmt.Sprintf("ConfusionMatrix{classes=%d, n=%d, acc=%.3f}",
+			c.Classes, c.Total(), c.Accuracy())
+	}
+	var b strings.Builder
+	for i := 0; i < c.Classes; i++ {
+		for j := 0; j < c.Classes; j++ {
+			fmt.Fprintf(&b, "%5d", c.Counts[i*c.Classes+j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Meter accumulates a scalar series: mean, min, max, last.
+type Meter struct {
+	n                      int
+	sum, minV, maxV, lastV float64
+}
+
+// Add records one observation.
+func (m *Meter) Add(v float64) {
+	if m.n == 0 {
+		m.minV, m.maxV = v, v
+	}
+	if v < m.minV {
+		m.minV = v
+	}
+	if v > m.maxV {
+		m.maxV = v
+	}
+	m.sum += v
+	m.lastV = v
+	m.n++
+}
+
+// Count returns the number of observations.
+func (m *Meter) Count() int { return m.n }
+
+// Mean returns the running mean (0 when empty).
+func (m *Meter) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Min returns the minimum observation (0 when empty).
+func (m *Meter) Min() float64 { return m.minV }
+
+// Max returns the maximum observation (0 when empty).
+func (m *Meter) Max() float64 { return m.maxV }
+
+// Last returns the most recent observation (0 when empty).
+func (m *Meter) Last() float64 { return m.lastV }
+
+// Throughput measures items/second over wall-clock intervals.
+type Throughput struct {
+	items   float64
+	elapsed time.Duration
+}
+
+// Record adds n items processed in d.
+func (t *Throughput) Record(n int, d time.Duration) {
+	t.items += float64(n)
+	t.elapsed += d
+}
+
+// PerSecond returns the aggregate rate.
+func (t *Throughput) PerSecond() float64 {
+	if t.elapsed <= 0 {
+		return 0
+	}
+	return t.items / t.elapsed.Seconds()
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

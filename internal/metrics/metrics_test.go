@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func TestTopKAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float64{
+		0.5, 0.3, 0.2, // pred order: 0,1,2
+		0.1, 0.2, 0.7, // pred order: 2,1,0
+	}, 2, 3)
+	labels := []int{1, 0}
+	if got := TopKAccuracy(logits, labels, 1); got != 0 {
+		t.Errorf("top-1 = %v, want 0", got)
+	}
+	if got := TopKAccuracy(logits, labels, 2); got != 0.5 {
+		t.Errorf("top-2 = %v, want 0.5", got)
+	}
+	if got := TopKAccuracy(logits, labels, 3); got != 1 {
+		t.Errorf("top-3 = %v, want 1", got)
+	}
+	// k beyond classes clamps.
+	if got := TopKAccuracy(logits, labels, 99); got != 1 {
+		t.Errorf("top-99 = %v, want 1", got)
+	}
+	if TopKAccuracy(tensor.New(0, 3), nil, 1) != 0 {
+		t.Error("empty should be 0")
+	}
+	if TopKAccuracy(logits, labels, 0) != 0 {
+		t.Error("k=0 should be 0")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	logits := tensor.FromSlice([]float64{
+		1, 0, 0, // pred 0
+		0, 1, 0, // pred 1
+		0, 1, 0, // pred 1
+		0, 0, 1, // pred 2
+	}, 4, 3)
+	cm.Update(logits, []int{0, 1, 2, 2})
+	if cm.Total() != 4 {
+		t.Errorf("Total = %d", cm.Total())
+	}
+	if got := cm.Accuracy(); got != 0.75 {
+		t.Errorf("Accuracy = %v, want 0.75", got)
+	}
+	rec := cm.PerClassRecall()
+	if rec[0] != 1 || rec[1] != 1 || rec[2] != 0.5 {
+		t.Errorf("recall = %v", rec)
+	}
+	if cm.String() == "" {
+		t.Error("empty String")
+	}
+	big := NewConfusionMatrix(20)
+	if big.String() == "" || big.Accuracy() != 0 {
+		t.Error("big matrix summary wrong")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	if m.Mean() != 0 || m.Count() != 0 {
+		t.Error("empty meter should be zero")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		m.Add(v)
+	}
+	if m.Mean() != 4 || m.Min() != 2 || m.Max() != 6 || m.Last() != 6 || m.Count() != 3 {
+		t.Errorf("meter = mean %v min %v max %v last %v", m.Mean(), m.Min(), m.Max(), m.Last())
+	}
+	m.Add(-10)
+	if m.Min() != -10 {
+		t.Error("min not updated")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var tp Throughput
+	if tp.PerSecond() != 0 {
+		t.Error("empty throughput should be 0")
+	}
+	tp.Record(100, time.Second)
+	tp.Record(100, time.Second)
+	if got := tp.PerSecond(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("PerSecond = %v, want 100", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || math.Abs(std-2) > 1e-12 {
+		t.Errorf("MeanStd = %v, %v; want 5, 2", mean, std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty MeanStd should be zeros")
+	}
+}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, applied elementwise.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(gradOut.Shape...)
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// MaxPool2d is max pooling over [N, C, H, W] with square window k,
+// stride s, and no padding.
+type MaxPool2d struct {
+	name    string
+	K, S    int
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2d constructs a max-pooling layer.
+func NewMaxPool2d(name string, k, stride int) *MaxPool2d {
+	return &MaxPool2d{name: name, K: k, S: stride}
+}
+
+// Forward implements Layer.
+func (m *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	m.inShape = x.Shape
+	oh := (h-m.K)/m.S + 1
+	ow := (w-m.K)/m.S + 1
+	out := tensor.New(n, c, oh, ow)
+	if cap(m.argmax) < out.Len() {
+		m.argmax = make([]int, out.Len())
+	}
+	m.argmax = m.argmax[:out.Len()]
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := base + (oy*m.S)*w + ox*m.S
+					best := x.Data[bestIdx]
+					for ky := 0; ky < m.K; ky++ {
+						rowBase := base + (oy*m.S+ky)*w
+						for kx := 0; kx < m.K; kx++ {
+							idx := rowBase + ox*m.S + kx
+							if x.Data[idx] > best {
+								best = x.Data[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					m.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inShape...)
+	for i, v := range gradOut.Data {
+		dx.Data[m.argmax[i]] += v
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool2d) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (m *MaxPool2d) Name() string { return m.name }
+
+// GlobalAvgPool reduces [N, C, H, W] to [N, C] by averaging each channel's
+// spatial extent — the head pooling of ResNet before the classifier.
+type GlobalAvgPool struct {
+	name    string
+	inShape []int
+}
+
+// NewGlobalAvgPool constructs a global average pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	g.inShape = x.Shape
+	spatial := h * w
+	out := tensor.New(n, c)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * spatial
+			var s float64
+			for i := 0; i < spatial; i++ {
+				s += x.Data[base+i]
+			}
+			out.Data[img*c+ch] = s / float64(spatial)
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	spatial := h * w
+	inv := 1 / float64(spatial)
+	dx := tensor.New(g.inShape...)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			gv := gradOut.Data[img*c+ch] * inv
+			base := (img*c + ch) * spatial
+			for i := 0; i < spatial; i++ {
+				dx.Data[base+i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (g *GlobalAvgPool) Name() string { return g.name }
+
+// Flatten reshapes [N, ...] to [N, rest]. Needed between conv stacks and
+// linear classifiers when global pooling is not used.
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = x.Shape
+	n := x.Shape[0]
+	rest := x.Len() / n
+	return x.Reshape(n, rest)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }

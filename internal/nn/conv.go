@@ -1,0 +1,203 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over [N, C, H, W] inputs implemented as
+// im2col + GEMM, the same lowering the paper's PyTorch substrate uses.
+// Weight has shape [outC, inC·kh·kw]; bias (optional) has shape [outC].
+//
+// As a KFACCapturable, the captured activation is the im2col patch matrix
+// [N·outH·outW, inC·kh·kw] — each row is one receptive-field sample, which
+// is why the A factor of a conv layer has dimension inC·kh·kw (+1 with
+// bias) — and the captured output gradient is [N·outH·outW, outC].
+type Conv2D struct {
+	name         string
+	InC, OutC    int
+	KH, KW       int
+	Stride, Pad  int
+	W            *Param
+	B            *Param // nil when bias disabled
+	capture      bool
+	cols         *tensor.Tensor // cached im2col of last input
+	inShape      []int
+	outH, outW   int
+	batch        int
+	gradCap      *tensor.Tensor
+	actCapShared bool // capture shares cols (no clone needed: cols is fresh per forward)
+}
+
+// NewConv2D constructs a convolution layer with He initialization
+// (fan-in = inC·kh·kw).
+func NewConv2D(name string, inC, outC, k, stride, pad int, bias bool, rng *rand.Rand) *Conv2D {
+	w := tensor.New(outC, inC*k*k)
+	heInit(rng, w, inC*k*k)
+	c := &Conv2D{
+		name: name, InC: inC, OutC: outC, KH: k, KW: k,
+		Stride: stride, Pad: pad,
+		W: NewParam(name+".weight", w),
+	}
+	if bias {
+		c.B = NewParam(name+".bias", tensor.New(outC))
+		c.B.NoWeightDecay = true
+	}
+	return c
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if ch != c.InC {
+		panic("nn: Conv2D channel mismatch")
+	}
+	c.inShape = []int{n, ch, h, w}
+	c.batch = n
+	c.outH = tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
+	c.outW = tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+	c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad) // [n·oh·ow, ckk]
+	// out matrix [n·oh·ow, outC] = cols × Wᵀ
+	outMat := tensor.MatMulT2(c.cols, c.W.Value)
+	if c.B != nil {
+		rows, oc := outMat.Rows(), outMat.Cols()
+		for i := 0; i < rows; i++ {
+			row := outMat.Data[i*oc : (i+1)*oc]
+			for j := 0; j < oc; j++ {
+				row[j] += c.B.Value.Data[j]
+			}
+		}
+	}
+	return matToNCHW(outMat, n, c.OutC, c.outH, c.outW)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n := c.inShape[0]
+	gradMat := nchwToMat(gradOut, n, c.OutC, c.outH, c.outW) // [n·oh·ow, outC]
+	if c.capture {
+		c.gradCap = gradMat
+	}
+	// dW = gradMatᵀ × cols ([outC, ckk])
+	dW := tensor.MatMulT1(gradMat, c.cols)
+	c.W.Grad.Add(dW)
+	if c.B != nil {
+		rows, oc := gradMat.Rows(), gradMat.Cols()
+		for i := 0; i < rows; i++ {
+			row := gradMat.Data[i*oc : (i+1)*oc]
+			for j := 0; j < oc; j++ {
+				c.B.Grad.Data[j] += row[j]
+			}
+		}
+	}
+	// dCols = gradMat × W ([n·oh·ow, ckk]); dX = col2im(dCols)
+	dCols := tensor.MatMul(gradMat, c.W.Value)
+	return tensor.Col2Im(dCols, n, c.InC, c.inShape[2], c.inShape[3], c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// matToNCHW reshapes a [n·oh·ow, outC] matrix (rows ordered image-major,
+// then spatial) into an [n, outC, oh, ow] tensor.
+func matToNCHW(m *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
+	out := tensor.New(n, oc, oh, ow)
+	spatial := oh * ow
+	for img := 0; img < n; img++ {
+		for s := 0; s < spatial; s++ {
+			src := m.Data[(img*spatial+s)*oc:]
+			for ch := 0; ch < oc; ch++ {
+				out.Data[((img*oc+ch)*spatial + s)] = src[ch]
+			}
+		}
+	}
+	return out
+}
+
+// nchwToMat is the inverse layout transform of matToNCHW.
+func nchwToMat(t *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
+	m := tensor.New(n*oh*ow, oc)
+	spatial := oh * ow
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < oc; ch++ {
+			base := (img*oc + ch) * spatial
+			for s := 0; s < spatial; s++ {
+				m.Data[(img*spatial+s)*oc+ch] = t.Data[base+s]
+			}
+		}
+	}
+	return m
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.B != nil {
+		return []*Param{c.W, c.B}
+	}
+	return []*Param{c.W}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// SetCapture implements KFACCapturable.
+func (c *Conv2D) SetCapture(on bool) {
+	c.capture = on
+	if !on {
+		c.gradCap = nil
+	}
+}
+
+// CapturedActivation implements KFACCapturable. The im2col matrix is
+// recomputed each forward pass, so sharing it (rather than cloning) is safe.
+func (c *Conv2D) CapturedActivation() *tensor.Tensor {
+	if !c.capture {
+		return nil
+	}
+	return c.cols
+}
+
+// CapturedOutputGrad implements KFACCapturable.
+func (c *Conv2D) CapturedOutputGrad() *tensor.Tensor { return c.gradCap }
+
+// BatchSize implements KFACCapturable.
+func (c *Conv2D) BatchSize() int { return c.batch }
+
+// SpatialSize implements KFACCapturable.
+func (c *Conv2D) SpatialSize() int { return c.outH * c.outW }
+
+// HasBias implements KFACCapturable.
+func (c *Conv2D) HasBias() bool { return c.B != nil }
+
+// InDim implements KFACCapturable.
+func (c *Conv2D) InDim() int { return c.InC * c.KH * c.KW }
+
+// OutDim implements KFACCapturable.
+func (c *Conv2D) OutDim() int { return c.OutC }
+
+// CombinedGrad implements KFACCapturable.
+func (c *Conv2D) CombinedGrad() *tensor.Tensor {
+	in := c.InDim()
+	if c.B == nil {
+		return c.W.Grad.Clone()
+	}
+	g := tensor.New(c.OutC, in+1)
+	for i := 0; i < c.OutC; i++ {
+		copy(g.Data[i*(in+1):i*(in+1)+in], c.W.Grad.Data[i*in:(i+1)*in])
+		g.Data[i*(in+1)+in] = c.B.Grad.Data[i]
+	}
+	return g
+}
+
+// SetCombinedGrad implements KFACCapturable.
+func (c *Conv2D) SetCombinedGrad(g *tensor.Tensor) {
+	in := c.InDim()
+	if c.B == nil {
+		c.W.Grad.CopyFrom(g)
+		return
+	}
+	for i := 0; i < c.OutC; i++ {
+		copy(c.W.Grad.Data[i*in:(i+1)*in], g.Data[i*(in+1):i*(in+1)+in])
+		c.B.Grad.Data[i] = g.Data[i*(in+1)+in]
+	}
+}
+
+var _ KFACCapturable = (*Conv2D)(nil)

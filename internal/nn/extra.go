@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// AvgPool2d is windowed average pooling over [N, C, H, W] with square
+// window k and stride s (no padding). ResNet variants use it in shortcut
+// paths; GlobalAvgPool covers the classifier head.
+type AvgPool2d struct {
+	name    string
+	K, S    int
+	inShape []int
+}
+
+// NewAvgPool2d constructs an average-pooling layer.
+func NewAvgPool2d(name string, k, stride int) *AvgPool2d {
+	return &AvgPool2d{name: name, K: k, S: stride}
+}
+
+// Forward implements Layer.
+func (a *AvgPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	a.inShape = x.Shape
+	oh := (h-a.K)/a.S + 1
+	ow := (w-a.K)/a.S + 1
+	out := tensor.New(n, c, oh, ow)
+	inv := 1 / float64(a.K*a.K)
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float64
+					for ky := 0; ky < a.K; ky++ {
+						rowBase := base + (oy*a.S+ky)*w + ox*a.S
+						for kx := 0; kx < a.K; kx++ {
+							s += x.Data[rowBase+kx]
+						}
+					}
+					out.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *AvgPool2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := a.inShape[0], a.inShape[1], a.inShape[2], a.inShape[3]
+	oh := (h-a.K)/a.S + 1
+	ow := (w-a.K)/a.S + 1
+	dx := tensor.New(a.inShape...)
+	inv := 1 / float64(a.K*a.K)
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gradOut.Data[oi] * inv
+					oi++
+					for ky := 0; ky < a.K; ky++ {
+						rowBase := base + (oy*a.S+ky)*w + ox*a.S
+						for kx := 0; kx < a.K; kx++ {
+							dx.Data[rowBase+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (a *AvgPool2d) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (a *AvgPool2d) Name() string { return a.name }
+
+// Dropout zeroes each element independently with probability P during
+// training and scales survivors by 1/(1−P) (inverted dropout), so
+// evaluation is the identity.
+type Dropout struct {
+	name string
+	P    float64
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout constructs a dropout layer with drop probability p.
+func NewDropout(name string, p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{name: name, P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Shape...)
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]bool, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = false
+		} else {
+			d.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return gradOut
+	}
+	dx := tensor.New(gradOut.Shape...)
+	scale := 1 / (1 - d.P)
+	for i, v := range gradOut.Data {
+		if d.mask[i] {
+			dx.Data[i] = v * scale
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GroupNorm normalizes groups of channels within each example of an
+// [N, C, H, W] tensor (Wu & He). Unlike BatchNorm it has no batch-size
+// dependence and no running statistics, which makes it attractive for the
+// very large effective batches the paper's large-batch context concerns —
+// included as the standard alternative normalizer.
+type GroupNorm struct {
+	name   string
+	C      int
+	Groups int
+	Eps    float64
+
+	Gamma *Param
+	Beta  *Param
+
+	// Backward caches.
+	xhat   *tensor.Tensor
+	invStd []float64 // per (image, group)
+	shape  []int
+}
+
+// NewGroupNorm constructs a group normalization layer; groups must divide c.
+func NewGroupNorm(name string, c, groups int) *GroupNorm {
+	if groups < 1 || c%groups != 0 {
+		panic(fmt.Sprintf("nn: GroupNorm groups %d must divide channels %d", groups, c))
+	}
+	g := NewParam(name+".gamma", tensor.Ones(c))
+	b := NewParam(name+".beta", tensor.New(c))
+	g.NoWeightDecay = true
+	b.NoWeightDecay = true
+	return &GroupNorm{name: name, C: c, Groups: groups, Eps: 1e-5, Gamma: g, Beta: b}
+}
+
+// Forward implements Layer.
+func (g *GroupNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != g.C {
+		panic("nn: GroupNorm channel mismatch")
+	}
+	g.shape = x.Shape
+	spatial := h * w
+	chPerGroup := c / g.Groups
+	groupLen := chPerGroup * spatial
+	out := tensor.New(n, c, h, w)
+	g.xhat = tensor.New(n, c, h, w)
+	if cap(g.invStd) < n*g.Groups {
+		g.invStd = make([]float64, n*g.Groups)
+	}
+	g.invStd = g.invStd[:n*g.Groups]
+	for img := 0; img < n; img++ {
+		for grp := 0; grp < g.Groups; grp++ {
+			base := img*c*spatial + grp*groupLen
+			var mean float64
+			for i := 0; i < groupLen; i++ {
+				mean += x.Data[base+i]
+			}
+			mean /= float64(groupLen)
+			var variance float64
+			for i := 0; i < groupLen; i++ {
+				d := x.Data[base+i] - mean
+				variance += d * d
+			}
+			variance /= float64(groupLen)
+			inv := 1 / math.Sqrt(variance+g.Eps)
+			g.invStd[img*g.Groups+grp] = inv
+			for ch := 0; ch < chPerGroup; ch++ {
+				gamma := g.Gamma.Value.Data[grp*chPerGroup+ch]
+				beta := g.Beta.Value.Data[grp*chPerGroup+ch]
+				cb := base + ch*spatial
+				for s := 0; s < spatial; s++ {
+					xh := (x.Data[cb+s] - mean) * inv
+					g.xhat.Data[cb+s] = xh
+					out.Data[cb+s] = gamma*xh + beta
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. Same derivation as BatchNorm, with statistics
+// over each (image, group) slab.
+func (g *GroupNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.shape[0], g.shape[1], g.shape[2], g.shape[3]
+	spatial := h * w
+	chPerGroup := c / g.Groups
+	groupLen := chPerGroup * spatial
+	dx := tensor.New(g.shape...)
+	cnt := float64(groupLen)
+	for img := 0; img < n; img++ {
+		for grp := 0; grp < g.Groups; grp++ {
+			base := img*c*spatial + grp*groupLen
+			inv := g.invStd[img*g.Groups+grp]
+			// Accumulate per-channel parameter grads and the two slab sums
+			// of dxhat = dy·γ.
+			var sumDxhat, sumDxhatXhat float64
+			for ch := 0; ch < chPerGroup; ch++ {
+				gamma := g.Gamma.Value.Data[grp*chPerGroup+ch]
+				cb := base + ch*spatial
+				for s := 0; s < spatial; s++ {
+					dy := gradOut.Data[cb+s]
+					xh := g.xhat.Data[cb+s]
+					g.Gamma.Grad.Data[grp*chPerGroup+ch] += dy * xh
+					g.Beta.Grad.Data[grp*chPerGroup+ch] += dy
+					dxh := dy * gamma
+					sumDxhat += dxh
+					sumDxhatXhat += dxh * xh
+				}
+			}
+			for ch := 0; ch < chPerGroup; ch++ {
+				gamma := g.Gamma.Value.Data[grp*chPerGroup+ch]
+				cb := base + ch*spatial
+				for s := 0; s < spatial; s++ {
+					dxh := gradOut.Data[cb+s] * gamma
+					xh := g.xhat.Data[cb+s]
+					dx.Data[cb+s] = inv / cnt * (cnt*dxh - sumDxhat - xh*sumDxhatXhat)
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *GroupNorm) Params() []*Param { return []*Param{g.Gamma, g.Beta} }
+
+// Name implements Layer.
+func (g *GroupNorm) Name() string { return g.name }

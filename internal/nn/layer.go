@@ -1,0 +1,289 @@
+// Package nn implements the neural-network substrate the K-FAC
+// preconditioner operates on: parameterized layers with explicit forward and
+// backward passes (Linear, Conv2D via im2col, BatchNorm2d, ReLU, pooling),
+// residual blocks, sequential composition, and a cross-entropy loss with
+// label smoothing.
+//
+// The package plays the role PyTorch's nn + autograd play in the paper. In
+// particular it provides the capture hooks K-FAC needs (paper §IV-B): layers
+// that satisfy KFACCapturable record, when capture is enabled, the layer
+// input activations from the forward pass and the gradient with respect to
+// the layer output from the backward pass — exactly what the paper's
+// registered forward/backward hooks save on each worker.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator. Optimizers
+// update Value from Grad; K-FAC rewrites Grad in place before the optimizer
+// runs (the "preconditioner" contract from the paper's Listing 1).
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+	// NoWeightDecay marks parameters (BatchNorm scales/biases, biases)
+	// excluded from L2 regularization, matching common ResNet recipes.
+	NoWeightDecay bool
+}
+
+// NewParam allocates a parameter with a zeroed gradient of the same shape.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module. Forward consumes the input and caches
+// whatever the backward pass needs; Backward consumes dL/d(output) and
+// returns dL/d(input), accumulating parameter gradients into Params.
+type Layer interface {
+	// Forward runs the layer on x. train selects training behaviour
+	// (BatchNorm batch statistics, capture hooks).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates gradOut (dL/d output) and returns dL/d input.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// Name returns a stable human-readable identifier.
+	Name() string
+}
+
+// KFACCapturable is implemented by layers K-FAC can precondition (Linear and
+// Conv2D — the paper's §V "supports K-FAC updates for Linear and Conv2D
+// layers"). The capture accessors return the data needed to form the
+// Kronecker factors A and G.
+type KFACCapturable interface {
+	Layer
+	// SetCapture enables or disables activation/gradient capture.
+	SetCapture(on bool)
+	// CapturedActivation returns the activation samples from the last
+	// forward pass as a [samples, inDim] matrix (conv layers return the
+	// im2col patch matrix [n·outH·outW, C·kh·kw]). Nil if capture was off.
+	CapturedActivation() *tensor.Tensor
+	// CapturedOutputGrad returns dL/d(pre-activation output) from the last
+	// backward pass as a [samples, outDim] matrix (conv layers return
+	// [n·outH·outW, outC]). Nil if capture was off.
+	CapturedOutputGrad() *tensor.Tensor
+	// BatchSize returns the mini-batch size N of the last forward pass.
+	BatchSize() int
+	// SpatialSize returns outH·outW for conv layers and 1 for linear.
+	SpatialSize() int
+	// HasBias reports whether the layer has a bias parameter (the A factor
+	// then gains a homogeneous coordinate).
+	HasBias() bool
+	// CombinedGrad returns the [outDim, inDim(+1)] gradient matrix of
+	// weight (and bias in the final column when present). The returned
+	// tensor is freshly allocated.
+	CombinedGrad() *tensor.Tensor
+	// SetCombinedGrad writes a preconditioned [outDim, inDim(+1)] gradient
+	// back into the layer's weight (and bias) gradient accumulators.
+	SetCombinedGrad(g *tensor.Tensor)
+	// InDim returns the A-factor dimension excluding the bias column.
+	InDim() int
+	// OutDim returns the G-factor dimension.
+	OutDim() int
+}
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: layers}
+}
+
+// Add appends a layer.
+func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params implements Layer, concatenating all child parameters.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// State is a named non-trainable buffer (e.g. BatchNorm running statistics)
+// that must be checkpointed alongside parameters.
+type State struct {
+	Name  string
+	Value *tensor.Tensor
+}
+
+// Stateful is implemented by layers carrying non-trainable state.
+type Stateful interface {
+	Layer
+	// StateTensors returns live views of the layer's buffers; callers may
+	// read or overwrite their contents.
+	StateTensors() []State
+}
+
+// StateTensors walks a layer tree and collects every Stateful layer's
+// buffers in deterministic order.
+func StateTensors(root Layer) []State {
+	var out []State
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *Sequential:
+			for _, c := range v.Layers {
+				walk(c)
+			}
+		case *Residual:
+			walk(v.Body)
+			if v.Shortcut != nil {
+				walk(v.Shortcut)
+			}
+		case Stateful:
+			out = append(out, v.StateTensors()...)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// CapturableLayers walks a layer tree and returns every KFACCapturable in
+// forward order. This is what the K-FAC preconditioner registers against,
+// mirroring the paper's per-layer hook registration.
+func CapturableLayers(root Layer) []KFACCapturable {
+	var out []KFACCapturable
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *Sequential:
+			for _, c := range v.Layers {
+				walk(c)
+			}
+		case *Residual:
+			walk(v.Body)
+			if v.Shortcut != nil {
+				walk(v.Shortcut)
+			}
+		case KFACCapturable:
+			out = append(out, v)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// ZeroGrads clears all parameter gradients in a layer tree.
+func ZeroGrads(root Layer) {
+	for _, p := range root.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of scalar parameters in a layer tree.
+func ParamCount(root Layer) int {
+	n := 0
+	for _, p := range root.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// heInit fills w with Kaiming-He normal initialization for fanIn inputs:
+// N(0, sqrt(2/fanIn)) — the standard ResNet initialization.
+func heInit(rng *rand.Rand, w *tensor.Tensor, fanIn int) {
+	std := 1.0
+	if fanIn > 0 {
+		std = math.Sqrt(2 / float64(fanIn))
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// Residual is a residual block: out = body(x) + shortcut(x), followed by a
+// ReLU, matching the post-activation ResNet-v1 design the paper trains.
+// Shortcut may be nil for an identity skip.
+type Residual struct {
+	name     string
+	Body     Layer
+	Shortcut Layer // nil = identity
+
+	relu *ReLU
+	x    *tensor.Tensor
+}
+
+// NewResidual constructs a residual block.
+func NewResidual(name string, body, shortcut Layer) *Residual {
+	return &Residual{name: name, Body: body, Shortcut: shortcut, relu: NewReLU(name + ".relu")}
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.x = x
+	out := r.Body.Forward(x, train)
+	var sc *tensor.Tensor
+	if r.Shortcut != nil {
+		sc = r.Shortcut.Forward(x, train)
+	} else {
+		sc = x
+	}
+	if !out.SameShape(sc) {
+		panic(fmt.Sprintf("nn: residual %s shape mismatch body=%v shortcut=%v",
+			r.name, out.Shape, sc.Shape))
+	}
+	sum := out.Clone()
+	sum.Add(sc)
+	return r.relu.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := r.relu.Backward(gradOut)
+	gBody := r.Body.Backward(g)
+	if r.Shortcut != nil {
+		gShort := r.Shortcut.Backward(g)
+		gBody = gBody.Clone()
+		gBody.Add(gShort)
+		return gBody
+	}
+	out := gBody.Clone()
+	out.Add(g)
+	return out
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Shortcut != nil {
+		ps = append(ps, r.Shortcut.Params()...)
+	}
+	return ps
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }

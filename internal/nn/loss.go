@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CrossEntropy computes softmax cross-entropy with optional label smoothing
+// (the paper smooths ImageNet labels with factor 0.1). Given logits
+// [N, K] and integer labels, it returns the mean loss and the gradient of
+// the mean loss with respect to the logits — the starting point of the
+// backward pass.
+type CrossEntropy struct {
+	// Smoothing ε distributes ε of the target mass uniformly over classes:
+	// target = (1-ε)·onehot + ε/K.
+	Smoothing float64
+}
+
+// Loss returns the mean smoothed cross-entropy over the batch and the
+// gradient dLoss/dlogits, shape [N, K].
+func (ce CrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Rows(), logits.Cols()
+	if len(labels) != n {
+		panic("nn: CrossEntropy label count mismatch")
+	}
+	grad := tensor.New(n, k)
+	var total float64
+	eps := ce.Smoothing
+	uni := eps / float64(k)
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		grow := grad.Data[i*k : (i+1)*k]
+		// Log-sum-exp with max subtraction for stability.
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - m)
+		}
+		logZ := m + math.Log(sum)
+		y := labels[i]
+		// loss_i = -Σ_j target_j · (logit_j − logZ)
+		var li float64
+		for j := 0; j < k; j++ {
+			target := uni
+			if j == y {
+				target += 1 - eps
+			}
+			logp := row[j] - logZ
+			li -= target * logp
+			p := math.Exp(logp)
+			grow[j] = (p - target) * invN
+		}
+		total += li
+	}
+	return total * invN, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n := logits.Rows()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.ArgMaxRow(i) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,511 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// scalarLoss projects a layer output onto fixed random coefficients,
+// giving a scalar function of the inputs/parameters whose analytic gradient
+// the backward pass must match.
+type scalarLoss struct {
+	coef *tensor.Tensor
+}
+
+func newScalarLoss(rng *rand.Rand, shape []int) *scalarLoss {
+	return &scalarLoss{coef: tensor.Randn(rng, 1, shape...)}
+}
+
+func (s *scalarLoss) value(out *tensor.Tensor) float64 { return out.Dot(s.coef) }
+
+func (s *scalarLoss) grad() *tensor.Tensor { return s.coef.Clone() }
+
+// numericGrad computes d f/d x[i] by central differences for every element
+// of x, where f re-runs the full forward pass.
+func numericGrad(f func() float64, x *tensor.Tensor, eps float64) *tensor.Tensor {
+	g := tensor.New(x.Shape...)
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		fp := f()
+		x.Data[i] = orig - eps
+		fm := f()
+		x.Data[i] = orig
+		g.Data[i] = (fp - fm) / (2 * eps)
+	}
+	return g
+}
+
+func checkGrad(t *testing.T, name string, got, want *tensor.Tensor, tol float64) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: gradient shape %v != %v", name, got.Shape, want.Shape)
+	}
+	for i := range got.Data {
+		diff := math.Abs(got.Data[i] - want.Data[i])
+		scale := 1 + math.Abs(want.Data[i])
+		if diff/scale > tol {
+			t.Fatalf("%s: grad[%d] = %v, numeric %v (rel %.2e)", name, i, got.Data[i], want.Data[i], diff/scale)
+		}
+	}
+}
+
+// gradCheckLayer verifies input and parameter gradients of a layer against
+// central differences.
+func gradCheckLayer(t *testing.T, l Layer, x *tensor.Tensor, rng *rand.Rand) {
+	t.Helper()
+	out := l.Forward(x, true)
+	sl := newScalarLoss(rng, out.Shape)
+	// Analytic gradients.
+	ZeroGrads(l)
+	dx := l.Backward(sl.grad())
+	f := func() float64 { return sl.value(l.Forward(x, true)) }
+	numDx := numericGrad(f, x, 1e-5)
+	checkGrad(t, l.Name()+"/input", dx, numDx, 2e-4)
+	for _, p := range l.Params() {
+		numDp := numericGrad(f, p.Value, 1e-5)
+		checkGrad(t, l.Name()+"/"+p.Name, p.Grad, numDp, 2e-4)
+	}
+}
+
+func TestLinearForwardKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("fc", 2, 2, true, rng)
+	l.W.Value.CopyFrom(tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2))
+	l.B.Value.CopyFrom(tensor.FromSlice([]float64{10, 20}, 2))
+	x := tensor.FromSlice([]float64{1, 1}, 1, 2)
+	y := l.Forward(x, false)
+	if y.At(0, 0) != 13 || y.At(0, 1) != 27 {
+		t.Errorf("Linear forward = %v, want [13 27]", y.Data)
+	}
+}
+
+func TestLinearGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear("fc", 5, 4, true, rng)
+	x := tensor.Randn(rng, 1, 3, 5)
+	gradCheckLayer(t, l, x, rng)
+}
+
+func TestLinearNoBiasGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear("fc", 4, 3, false, rng)
+	x := tensor.Randn(rng, 1, 2, 4)
+	gradCheckLayer(t, l, x, rng)
+}
+
+// naiveConv2D computes convolution directly from the definition.
+func naiveConv2D(x, w *tensor.Tensor, bias []float64, outC, k, stride, pad int) *tensor.Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOutSize(h, k, stride, pad)
+	ow := tensor.ConvOutSize(wd, k, stride, pad)
+	out := tensor.New(n, outC, oh, ow)
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float64
+					if bias != nil {
+						s = bias[oc]
+					}
+					for ch := 0; ch < c; ch++ {
+						for ky := 0; ky < k; ky++ {
+							iy := oy*stride - pad + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < k; kx++ {
+								ix := ox*stride - pad + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								s += x.At(img, ch, iy, ix) * w.At(oc, (ch*k+ky)*k+kx)
+							}
+						}
+					}
+					out.Set(s, img, oc, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, cfg := range []struct{ k, stride, pad int }{
+		{3, 1, 1}, {3, 2, 1}, {1, 1, 0}, {5, 1, 2},
+	} {
+		conv := NewConv2D("c", 3, 4, cfg.k, cfg.stride, cfg.pad, true, rng)
+		x := tensor.Randn(rng, 1, 2, 3, 8, 8)
+		got := conv.Forward(x, false)
+		want := naiveConv2D(x, conv.W.Value, conv.B.Value.Data, 4, cfg.k, cfg.stride, cfg.pad)
+		if !got.Equal(want, 1e-10) {
+			t.Errorf("k=%d s=%d p=%d: im2col conv disagrees with naive", cfg.k, cfg.stride, cfg.pad)
+		}
+	}
+}
+
+func TestConv2DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := NewConv2D("c", 2, 3, 3, 1, 1, true, rng)
+	x := tensor.Randn(rng, 1, 2, 2, 5, 5)
+	gradCheckLayer(t, conv, x, rng)
+}
+
+func TestConv2DStridedGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	conv := NewConv2D("c", 2, 2, 3, 2, 1, false, rng)
+	x := tensor.Randn(rng, 1, 2, 2, 6, 6)
+	gradCheckLayer(t, conv, x, rng)
+}
+
+func TestBatchNormForwardNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bn := NewBatchNorm2d("bn", 3)
+	x := tensor.Randn(rng, 2, 4, 3, 5, 5)
+	y := bn.Forward(x, true)
+	// Per-channel mean ≈ 0, var ≈ 1 after normalization with γ=1, β=0.
+	n, c, h, w := 4, 3, 5, 5
+	spatial := h * w
+	for ch := 0; ch < c; ch++ {
+		var mean float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * spatial
+			for s := 0; s < spatial; s++ {
+				mean += y.Data[base+s]
+			}
+		}
+		mean /= float64(n * spatial)
+		if math.Abs(mean) > 1e-10 {
+			t.Errorf("channel %d mean = %v, want 0", ch, mean)
+		}
+		var variance float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * spatial
+			for s := 0; s < spatial; s++ {
+				d := y.Data[base+s] - mean
+				variance += d * d
+			}
+		}
+		variance /= float64(n * spatial)
+		if math.Abs(variance-1) > 1e-3 {
+			t.Errorf("channel %d var = %v, want 1", ch, variance)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bn := NewBatchNorm2d("bn", 2)
+	x := tensor.Randn(rng, 1, 8, 2, 4, 4)
+	// Train several batches so the running stats move off their init.
+	for i := 0; i < 20; i++ {
+		bn.Forward(x, true)
+	}
+	y1 := bn.Forward(x, false)
+	y2 := bn.Forward(x, false)
+	if !y1.Equal(y2, 0) {
+		t.Error("eval mode should be deterministic")
+	}
+}
+
+func TestBatchNormGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bn := NewBatchNorm2d("bn", 2)
+	x := tensor.Randn(rng, 1, 3, 2, 3, 3)
+	gradCheckLayer(t, bn, x, rng)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU("relu")
+	x := tensor.FromSlice([]float64{-1, 2, -3, 4}, 1, 4)
+	y := r.Forward(x, true)
+	want := []float64{0, 2, 0, 4}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("ReLU forward = %v", y.Data)
+		}
+	}
+	g := r.Backward(tensor.FromSlice([]float64{10, 10, 10, 10}, 1, 4))
+	wantG := []float64{0, 10, 0, 10}
+	for i := range wantG {
+		if g.Data[i] != wantG[i] {
+			t.Fatalf("ReLU backward = %v", g.Data)
+		}
+	}
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	x := tensor.New(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	mp := NewMaxPool2d("mp", 2, 2)
+	y := mp.Forward(x, true)
+	want := []float64{5, 7, 13, 15}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("MaxPool = %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	mp := NewMaxPool2d("mp", 2, 2)
+	x := tensor.Randn(rng, 1, 2, 2, 4, 4)
+	// Max-pool is piecewise linear; numeric grad check valid away from ties.
+	gradCheckLayer(t, mp, x, rng)
+}
+
+func TestGlobalAvgPoolGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gp := NewGlobalAvgPool("gap")
+	x := tensor.Randn(rng, 1, 2, 3, 4, 4)
+	gradCheckLayer(t, gp, x, rng)
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := NewFlatten("flat")
+	x := tensor.Randn(rng, 1, 2, 3, 4, 5)
+	y := f.Forward(x, true)
+	if y.Rows() != 2 || y.Cols() != 60 {
+		t.Fatalf("Flatten shape = %v", y.Shape)
+	}
+	back := f.Backward(y)
+	if !back.SameShape(x) {
+		t.Fatalf("Flatten backward shape = %v", back.Shape)
+	}
+}
+
+func TestSequentialGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seq := NewSequential("net",
+		NewLinear("fc1", 6, 8, true, rng),
+		NewReLU("r1"),
+		NewLinear("fc2", 8, 4, true, rng),
+	)
+	x := tensor.Randn(rng, 1, 3, 6)
+	gradCheckLayer(t, seq, x, rng)
+}
+
+func TestResidualIdentityGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	body := NewSequential("body",
+		NewConv2D("c1", 2, 2, 3, 1, 1, false, rng),
+		NewReLU("r"),
+		NewConv2D("c2", 2, 2, 3, 1, 1, false, rng),
+	)
+	res := NewResidual("res", body, nil)
+	x := tensor.Randn(rng, 1, 2, 2, 4, 4)
+	gradCheckLayer(t, res, x, rng)
+}
+
+func TestResidualProjectionGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	body := NewSequential("body",
+		NewConv2D("c1", 2, 4, 3, 2, 1, false, rng),
+	)
+	short := NewConv2D("sc", 2, 4, 1, 2, 0, false, rng)
+	res := NewResidual("res", body, short)
+	x := tensor.Randn(rng, 1, 2, 2, 4, 4)
+	gradCheckLayer(t, res, x, rng)
+}
+
+func TestResidualShapeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	body := NewConv2D("c", 2, 4, 3, 1, 1, false, rng) // channel change, no shortcut
+	res := NewResidual("res", body, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	res.Forward(tensor.Randn(rng, 1, 1, 2, 4, 4), true)
+}
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over K classes: loss = log K regardless of label.
+	logits := tensor.New(2, 4)
+	ce := CrossEntropy{}
+	loss, _ := ce.Loss(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform CE loss = %v, want ln 4 = %v", loss, math.Log(4))
+	}
+}
+
+func TestCrossEntropyGradientNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	logits := tensor.Randn(rng, 1, 3, 5)
+	labels := []int{1, 4, 0}
+	for _, smooth := range []float64{0, 0.1} {
+		ce := CrossEntropy{Smoothing: smooth}
+		_, grad := ce.Loss(logits, labels)
+		f := func() float64 {
+			l, _ := ce.Loss(logits, labels)
+			return l
+		}
+		num := numericGrad(f, logits, 1e-6)
+		checkGrad(t, "crossentropy", grad, num, 1e-5)
+	}
+}
+
+func TestCrossEntropyGradSumsToZeroPerRow(t *testing.T) {
+	// Softmax gradient rows sum to zero (probabilities sum to one on both
+	// sides); label smoothing preserves this.
+	rng := rand.New(rand.NewSource(18))
+	logits := tensor.Randn(rng, 2, 4, 6)
+	labels := []int{0, 1, 2, 3}
+	ce := CrossEntropy{Smoothing: 0.1}
+	_, grad := ce.Loss(logits, labels)
+	for i := 0; i < 4; i++ {
+		var s float64
+		for j := 0; j < 6; j++ {
+			s += grad.At(i, j)
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Errorf("row %d grad sum = %v, want 0", i, s)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float64{
+		0.9, 0.1,
+		0.2, 0.8,
+		0.6, 0.4,
+	}, 3, 2)
+	if got := Accuracy(logits, []int{0, 1, 1}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3", got)
+	}
+	if Accuracy(tensor.New(0, 2), nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestLinearCaptureShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	l := NewLinear("fc", 5, 3, true, rng)
+	l.SetCapture(true)
+	x := tensor.Randn(rng, 1, 7, 5)
+	out := l.Forward(x, true)
+	l.Backward(tensor.Randn(rng, 1, out.Shape...))
+	act := l.CapturedActivation()
+	g := l.CapturedOutputGrad()
+	if act.Rows() != 7 || act.Cols() != 5 {
+		t.Errorf("captured activation shape = %v", act.Shape)
+	}
+	if g.Rows() != 7 || g.Cols() != 3 {
+		t.Errorf("captured grad shape = %v", g.Shape)
+	}
+	if l.BatchSize() != 7 || l.SpatialSize() != 1 {
+		t.Errorf("batch=%d spatial=%d", l.BatchSize(), l.SpatialSize())
+	}
+}
+
+func TestConvCaptureShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	c := NewConv2D("c", 3, 6, 3, 1, 1, true, rng)
+	c.SetCapture(true)
+	x := tensor.Randn(rng, 1, 2, 3, 8, 8)
+	out := c.Forward(x, true)
+	c.Backward(tensor.Randn(rng, 1, out.Shape...))
+	act := c.CapturedActivation()
+	g := c.CapturedOutputGrad()
+	if act.Rows() != 2*8*8 || act.Cols() != 3*3*3 {
+		t.Errorf("captured activation shape = %v", act.Shape)
+	}
+	if g.Rows() != 2*8*8 || g.Cols() != 6 {
+		t.Errorf("captured grad shape = %v", g.Shape)
+	}
+	if c.SpatialSize() != 64 {
+		t.Errorf("spatial = %d, want 64", c.SpatialSize())
+	}
+}
+
+func TestCaptureDisabledReturnsNil(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l := NewLinear("fc", 3, 2, true, rng)
+	x := tensor.Randn(rng, 1, 2, 3)
+	out := l.Forward(x, true)
+	l.Backward(tensor.Randn(rng, 1, out.Shape...))
+	if l.CapturedActivation() != nil || l.CapturedOutputGrad() != nil {
+		t.Error("capture off should yield nil captures")
+	}
+}
+
+func TestCombinedGradRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, layer := range []KFACCapturable{
+		NewLinear("fc", 4, 3, true, rng),
+		NewLinear("fcnb", 4, 3, false, rng),
+		NewConv2D("cv", 2, 3, 3, 1, 1, true, rng),
+	} {
+		// Fill grads with recognizable values.
+		for _, p := range layer.Params() {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = float64(i + 1)
+			}
+		}
+		g := layer.CombinedGrad()
+		wantCols := layer.InDim()
+		if layer.HasBias() {
+			wantCols++
+		}
+		if g.Rows() != layer.OutDim() || g.Cols() != wantCols {
+			t.Fatalf("%s: combined grad shape %v", layer.Name(), g.Shape)
+		}
+		g.Scale(2)
+		layer.SetCombinedGrad(g)
+		g2 := layer.CombinedGrad()
+		if !g2.Equal(g, 0) {
+			t.Errorf("%s: SetCombinedGrad/CombinedGrad round trip failed", layer.Name())
+		}
+	}
+}
+
+func TestCapturableLayersWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	body := NewSequential("body",
+		NewConv2D("c1", 2, 2, 3, 1, 1, false, rng),
+		NewBatchNorm2d("bn", 2),
+	)
+	res := NewResidual("res", body, NewConv2D("sc", 2, 2, 1, 1, 0, false, rng))
+	net := NewSequential("net",
+		NewConv2D("stem", 3, 2, 3, 1, 1, false, rng),
+		res,
+		NewGlobalAvgPool("gap"),
+		NewLinear("fc", 2, 10, true, rng),
+	)
+	caps := CapturableLayers(net)
+	if len(caps) != 4 {
+		names := make([]string, len(caps))
+		for i, c := range caps {
+			names[i] = c.Name()
+		}
+		t.Fatalf("CapturableLayers = %v, want 4 layers", names)
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	l := NewLinear("fc", 10, 5, true, rng)
+	if got := ParamCount(l); got != 55 {
+		t.Errorf("ParamCount = %d, want 55", got)
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	l := NewLinear("fc", 3, 3, true, rng)
+	l.W.Grad.Fill(5)
+	ZeroGrads(l)
+	if l.W.Grad.Norm2() != 0 {
+		t.Error("ZeroGrads did not clear gradient")
+	}
+}

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2d normalizes each channel of an [N, C, H, W] tensor over the
+// batch and spatial dimensions, then applies a learned affine transform.
+// Training mode uses mini-batch statistics and updates running estimates;
+// evaluation mode uses the running estimates. K-FAC ignores BatchNorm
+// parameters (the paper: "all unsupported layers ... updated normally using
+// the user's choice of optimizer").
+type BatchNorm2d struct {
+	name     string
+	C        int
+	Eps      float64
+	Momentum float64 // running-stats update rate (PyTorch convention)
+
+	Gamma *Param // scale, [C]
+	Beta  *Param // shift, [C]
+
+	RunningMean *tensor.Tensor
+	RunningVar  *tensor.Tensor
+
+	// Backward caches.
+	xhat   *tensor.Tensor
+	invStd []float64
+	n      int // N·H·W per channel in last batch
+	shape  []int
+}
+
+// NewBatchNorm2d constructs a BatchNorm layer with γ=1, β=0.
+func NewBatchNorm2d(name string, c int) *BatchNorm2d {
+	g := NewParam(name+".gamma", tensor.Ones(c))
+	b := NewParam(name+".beta", tensor.New(c))
+	g.NoWeightDecay = true
+	b.NoWeightDecay = true
+	rv := tensor.Ones(c)
+	return &BatchNorm2d{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma: g, Beta: b,
+		RunningMean: tensor.New(c), RunningVar: rv,
+	}
+}
+
+// Forward implements Layer.
+func (b *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != b.C {
+		panic("nn: BatchNorm2d channel mismatch")
+	}
+	b.shape = x.Shape
+	spatial := h * w
+	cnt := n * spatial
+	b.n = cnt
+	out := tensor.New(n, c, h, w)
+	b.xhat = tensor.New(n, c, h, w)
+	if b.invStd == nil || len(b.invStd) != c {
+		b.invStd = make([]float64, c)
+	}
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if train {
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * spatial
+				for s := 0; s < spatial; s++ {
+					mean += x.Data[base+s]
+				}
+			}
+			mean /= float64(cnt)
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * spatial
+				for s := 0; s < spatial; s++ {
+					d := x.Data[base+s] - mean
+					variance += d * d
+				}
+			}
+			variance /= float64(cnt)
+			// Update running stats with the unbiased variance, as PyTorch does.
+			unbiased := variance
+			if cnt > 1 {
+				unbiased = variance * float64(cnt) / float64(cnt-1)
+			}
+			b.RunningMean.Data[ch] = (1-b.Momentum)*b.RunningMean.Data[ch] + b.Momentum*mean
+			b.RunningVar.Data[ch] = (1-b.Momentum)*b.RunningVar.Data[ch] + b.Momentum*unbiased
+		} else {
+			mean = b.RunningMean.Data[ch]
+			variance = b.RunningVar.Data[ch]
+		}
+		inv := 1 / math.Sqrt(variance+b.Eps)
+		b.invStd[ch] = inv
+		g := b.Gamma.Value.Data[ch]
+		bt := b.Beta.Value.Data[ch]
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * spatial
+			for s := 0; s < spatial; s++ {
+				xh := (x.Data[base+s] - mean) * inv
+				b.xhat.Data[base+s] = xh
+				out.Data[base+s] = g*xh + bt
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. Standard BatchNorm backward:
+// dxhat = dy·γ
+// dx = (1/N)·invStd·(N·dxhat − Σdxhat − xhat·Σ(dxhat·xhat))
+func (b *BatchNorm2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, c := b.shape[0], b.shape[1]
+	spatial := b.shape[2] * b.shape[3]
+	cnt := float64(b.n)
+	dx := tensor.New(b.shape...)
+	for ch := 0; ch < c; ch++ {
+		g := b.Gamma.Value.Data[ch]
+		var sumDy, sumDyXhat float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * spatial
+			for s := 0; s < spatial; s++ {
+				dy := gradOut.Data[base+s]
+				sumDy += dy
+				sumDyXhat += dy * b.xhat.Data[base+s]
+			}
+		}
+		b.Gamma.Grad.Data[ch] += sumDyXhat
+		b.Beta.Grad.Data[ch] += sumDy
+		inv := b.invStd[ch]
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * spatial
+			for s := 0; s < spatial; s++ {
+				dy := gradOut.Data[base+s]
+				xh := b.xhat.Data[base+s]
+				dx.Data[base+s] = g * inv / cnt * (cnt*dy - sumDy - xh*sumDyXhat)
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (b *BatchNorm2d) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Name implements Layer.
+func (b *BatchNorm2d) Name() string { return b.name }
+
+// StateTensors implements Stateful: the running mean and variance used in
+// evaluation mode must survive checkpoints.
+func (b *BatchNorm2d) StateTensors() []State {
+	return []State{
+		{Name: b.name + ".running_mean", Value: b.RunningMean},
+		{Name: b.name + ".running_var", Value: b.RunningVar},
+	}
+}
+
+var _ Stateful = (*BatchNorm2d)(nil)

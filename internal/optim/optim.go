@@ -1,0 +1,247 @@
+// Package optim implements the first-order optimizers and learning-rate
+// schedules used in the paper's experiments: SGD with momentum (optionally
+// Nesterov) and decoupled weight decay exclusions, LARS (the large-batch
+// baseline family the related-work section compares against), Adam, and the
+// linear-warmup + step-decay schedule used for every run in §VI.
+//
+// K-FAC composes with any of these: the preconditioner rewrites parameter
+// gradients in place, then the optimizer applies its usual update rule
+// (paper Listing 1).
+package optim
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the current learning rate.
+	Step()
+	// SetLR sets the learning rate used by subsequent steps.
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with momentum and L2 weight decay,
+// matching PyTorch's torch.optim.SGD semantics:
+//
+//	buf = momentum·buf + grad + wd·w
+//	w  -= lr · buf            (heavy ball)
+//	w  -= lr · (grad + momentum·buf)  (Nesterov)
+type SGD struct {
+	Params      []*nn.Param
+	Momentum    float64
+	WeightDecay float64
+	Nesterov    bool
+
+	lr   float64
+	bufs []*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer over params.
+func NewSGD(params []*nn.Param, lr, momentum, weightDecay float64, nesterov bool) *SGD {
+	bufs := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		bufs[i] = tensor.New(p.Value.Shape...)
+	}
+	return &SGD{
+		Params: params, Momentum: momentum, WeightDecay: weightDecay,
+		Nesterov: nesterov, lr: lr, bufs: bufs,
+	}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.Params {
+		g := p.Grad
+		buf := s.bufs[i]
+		wd := s.WeightDecay
+		if p.NoWeightDecay {
+			wd = 0
+		}
+		for j := range g.Data {
+			gj := g.Data[j]
+			if wd != 0 {
+				gj += wd * p.Value.Data[j]
+			}
+			buf.Data[j] = s.Momentum*buf.Data[j] + gj
+			upd := buf.Data[j]
+			if s.Nesterov {
+				upd = gj + s.Momentum*buf.Data[j]
+			}
+			p.Value.Data[j] -= s.lr * upd
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// LARS is layer-wise adaptive rate scaling (You et al.), the optimizer the
+// large-batch SGD line of work (paper §III-A) builds on. Each parameter's
+// local learning rate is scaled by η·‖w‖/(‖g‖+wd·‖w‖).
+type LARS struct {
+	Params      []*nn.Param
+	Momentum    float64
+	WeightDecay float64
+	Eta         float64 // trust coefficient
+
+	lr   float64
+	bufs []*tensor.Tensor
+}
+
+// NewLARS constructs a LARS optimizer.
+func NewLARS(params []*nn.Param, lr, momentum, weightDecay, eta float64) *LARS {
+	bufs := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		bufs[i] = tensor.New(p.Value.Shape...)
+	}
+	return &LARS{Params: params, Momentum: momentum, WeightDecay: weightDecay, Eta: eta, lr: lr, bufs: bufs}
+}
+
+// Step implements Optimizer.
+func (l *LARS) Step() {
+	for i, p := range l.Params {
+		wd := l.WeightDecay
+		if p.NoWeightDecay {
+			wd = 0
+		}
+		wNorm := p.Value.Norm2()
+		gNorm := p.Grad.Norm2()
+		trust := 1.0
+		if wNorm > 0 && gNorm > 0 {
+			trust = l.Eta * wNorm / (gNorm + wd*wNorm)
+		}
+		buf := l.bufs[i]
+		for j := range p.Grad.Data {
+			gj := p.Grad.Data[j] + wd*p.Value.Data[j]
+			buf.Data[j] = l.Momentum*buf.Data[j] + trust*gj
+			p.Value.Data[j] -= l.lr * buf.Data[j]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (l *LARS) SetLR(lr float64) { l.lr = lr }
+
+// LR implements Optimizer.
+func (l *LARS) LR() float64 { return l.lr }
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	Params      []*nn.Param
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	lr   float64
+	step int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam constructs an Adam optimizer with the usual defaults for zero
+// beta/eps arguments (0.9, 0.999, 1e-8).
+func NewAdam(params []*nn.Param, lr, beta1, beta2, eps, weightDecay float64) *Adam {
+	if beta1 == 0 {
+		beta1 = 0.9
+	}
+	if beta2 == 0 {
+		beta2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	m := make([]*tensor.Tensor, len(params))
+	v := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		m[i] = tensor.New(p.Value.Shape...)
+		v[i] = tensor.New(p.Value.Shape...)
+	}
+	return &Adam{Params: params, Beta1: beta1, Beta2: beta2, Eps: eps, WeightDecay: weightDecay, lr: lr, m: m, v: v}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.Params {
+		wd := a.WeightDecay
+		if p.NoWeightDecay {
+			wd = 0
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Grad.Data {
+			g := p.Grad.Data[j] + wd*p.Value.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mh := m.Data[j] / bc1
+			vh := v.Data[j] / bc2
+			p.Value.Data[j] -= a.lr * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// ClipGradNorm rescales all gradients jointly so their global L2 norm does
+// not exceed maxNorm, returning the pre-clip norm. A no-op when the norm is
+// already within bounds or maxNorm ≤ 0.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		p.Grad.Scale(scale)
+	}
+	return norm
+}
+
+// LRSchedule produces a learning rate for each epoch. The paper's recipe
+// (§VI-C): linear warmup over the first WarmupEpochs from BaseLR/N to the
+// full scaled rate, then multiplicative decay by Factor at each milestone.
+type LRSchedule struct {
+	BaseLR       float64
+	WarmupEpochs int
+	Milestones   []int   // epochs at which to decay
+	Factor       float64 // per-milestone multiplier (paper: 0.1)
+}
+
+// At returns the learning rate for the given zero-based epoch.
+func (s LRSchedule) At(epoch int) float64 {
+	lr := s.BaseLR
+	if s.WarmupEpochs > 0 && epoch < s.WarmupEpochs {
+		// Linear ramp: epoch 0 starts at BaseLR/(warmup+1) ... full at end.
+		return s.BaseLR * float64(epoch+1) / float64(s.WarmupEpochs)
+	}
+	f := s.Factor
+	if f == 0 {
+		f = 0.1
+	}
+	for _, m := range s.Milestones {
+		if epoch >= m {
+			lr *= f
+		}
+	}
+	return lr
+}

@@ -1,0 +1,220 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func paramWith(value, grad []float64) *nn.Param {
+	p := nn.NewParam("p", tensor.FromSlice(value, len(value)))
+	copy(p.Grad.Data, grad)
+	return p
+}
+
+func TestSGDVanillaStep(t *testing.T) {
+	p := paramWith([]float64{1, 2}, []float64{0.5, -0.5})
+	s := NewSGD([]*nn.Param{p}, 0.1, 0, 0, false)
+	s.Step()
+	if math.Abs(p.Value.Data[0]-0.95) > 1e-12 || math.Abs(p.Value.Data[1]-2.05) > 1e-12 {
+		t.Errorf("SGD step = %v", p.Value.Data)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := paramWith([]float64{0}, []float64{1})
+	s := NewSGD([]*nn.Param{p}, 1, 0.9, 0, false)
+	s.Step() // buf=1, w=-1
+	copy(p.Grad.Data, []float64{1})
+	s.Step() // buf=1.9, w=-2.9
+	if math.Abs(p.Value.Data[0]+2.9) > 1e-12 {
+		t.Errorf("momentum step = %v, want -2.9", p.Value.Data[0])
+	}
+}
+
+func TestSGDNesterov(t *testing.T) {
+	p := paramWith([]float64{0}, []float64{1})
+	s := NewSGD([]*nn.Param{p}, 1, 0.9, 0, true)
+	s.Step() // buf=1; update = g + m*buf = 1.9; w=-1.9
+	if math.Abs(p.Value.Data[0]+1.9) > 1e-12 {
+		t.Errorf("nesterov step = %v, want -1.9", p.Value.Data[0])
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := paramWith([]float64{10}, []float64{0})
+	s := NewSGD([]*nn.Param{p}, 0.1, 0, 0.5, false)
+	s.Step() // g_eff = 0 + 0.5*10 = 5; w = 10 - 0.5 = 9.5
+	if math.Abs(p.Value.Data[0]-9.5) > 1e-12 {
+		t.Errorf("weight decay step = %v, want 9.5", p.Value.Data[0])
+	}
+}
+
+func TestSGDNoWeightDecayFlag(t *testing.T) {
+	p := paramWith([]float64{10}, []float64{0})
+	p.NoWeightDecay = true
+	s := NewSGD([]*nn.Param{p}, 0.1, 0, 0.5, false)
+	s.Step()
+	if p.Value.Data[0] != 10 {
+		t.Errorf("NoWeightDecay param moved: %v", p.Value.Data[0])
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = ½‖w − w*‖²; gradient = w − w*.
+	rng := rand.New(rand.NewSource(1))
+	target := tensor.Randn(rng, 1, 10)
+	p := nn.NewParam("w", tensor.New(10))
+	s := NewSGD([]*nn.Param{p}, 0.3, 0.9, 0, false)
+	for i := 0; i < 500; i++ {
+		for j := range p.Grad.Data {
+			p.Grad.Data[j] = p.Value.Data[j] - target.Data[j]
+		}
+		s.Step()
+	}
+	diff := p.Value.Clone()
+	diff.Sub(target)
+	if diff.Norm2() > 1e-6 {
+		t.Errorf("SGD did not converge: dist %v", diff.Norm2())
+	}
+}
+
+func TestLARSTrustRatioScalesUpdate(t *testing.T) {
+	// With ‖w‖=1 and ‖g‖=100, trust ≈ eta/100: update is tiny relative to
+	// vanilla SGD.
+	p := paramWith([]float64{1, 0}, []float64{100, 0})
+	l := NewLARS([]*nn.Param{p}, 1, 0, 0, 0.001)
+	l.Step()
+	moved := math.Abs(1 - p.Value.Data[0])
+	if moved > 0.01 {
+		t.Errorf("LARS moved %v, trust ratio not applied", moved)
+	}
+}
+
+func TestLARSConvergesOnQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	target := tensor.Randn(rng, 1, 8)
+	p := nn.NewParam("w", tensor.Ones(8))
+	l := NewLARS([]*nn.Param{p}, 0.5, 0.9, 0, 0.02)
+	for i := 0; i < 3000; i++ {
+		for j := range p.Grad.Data {
+			p.Grad.Data[j] = p.Value.Data[j] - target.Data[j]
+		}
+		l.Step()
+	}
+	diff := p.Value.Clone()
+	diff.Sub(target)
+	if diff.Norm2() > 0.05 {
+		t.Errorf("LARS did not approach target: dist %v", diff.Norm2())
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	target := tensor.Randn(rng, 1, 10)
+	p := nn.NewParam("w", tensor.New(10))
+	a := NewAdam([]*nn.Param{p}, 0.05, 0, 0, 0, 0)
+	for i := 0; i < 2000; i++ {
+		for j := range p.Grad.Data {
+			p.Grad.Data[j] = p.Value.Data[j] - target.Data[j]
+		}
+		a.Step()
+	}
+	diff := p.Value.Clone()
+	diff.Sub(target)
+	if diff.Norm2() > 1e-3 {
+		t.Errorf("Adam did not converge: dist %v", diff.Norm2())
+	}
+}
+
+func TestAdamDefaults(t *testing.T) {
+	p := paramWith([]float64{0}, []float64{1})
+	a := NewAdam([]*nn.Param{p}, 0.1, 0, 0, 0, 0)
+	if a.Beta1 != 0.9 || a.Beta2 != 0.999 || a.Eps != 1e-8 {
+		t.Errorf("defaults = %v %v %v", a.Beta1, a.Beta2, a.Eps)
+	}
+	a.Step()
+	// First Adam step moves by ≈ lr regardless of gradient scale.
+	if math.Abs(p.Value.Data[0]+0.1) > 1e-6 {
+		t.Errorf("first Adam step = %v, want ≈ -0.1", p.Value.Data[0])
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	p := paramWith([]float64{0}, []float64{1})
+	for _, o := range []Optimizer{
+		NewSGD([]*nn.Param{p}, 0.1, 0, 0, false),
+		NewLARS([]*nn.Param{p}, 0.1, 0, 0, 0.001),
+		NewAdam([]*nn.Param{p}, 0.1, 0, 0, 0, 0),
+	} {
+		o.SetLR(0.42)
+		if o.LR() != 0.42 {
+			t.Errorf("%T: SetLR/LR failed", o)
+		}
+	}
+}
+
+func TestLRScheduleWarmupAndDecay(t *testing.T) {
+	s := LRSchedule{BaseLR: 1.0, WarmupEpochs: 5, Milestones: []int{10, 20}, Factor: 0.1}
+	// Linear warmup: epoch 0 → 0.2, epoch 4 → 1.0.
+	if math.Abs(s.At(0)-0.2) > 1e-12 {
+		t.Errorf("At(0) = %v, want 0.2", s.At(0))
+	}
+	if math.Abs(s.At(4)-1.0) > 1e-12 {
+		t.Errorf("At(4) = %v, want 1.0", s.At(4))
+	}
+	if math.Abs(s.At(7)-1.0) > 1e-12 {
+		t.Errorf("At(7) = %v, want 1.0", s.At(7))
+	}
+	if math.Abs(s.At(10)-0.1) > 1e-12 {
+		t.Errorf("At(10) = %v, want 0.1", s.At(10))
+	}
+	if math.Abs(s.At(25)-0.01) > 1e-12 {
+		t.Errorf("At(25) = %v, want 0.01", s.At(25))
+	}
+}
+
+func TestLRScheduleDefaultFactor(t *testing.T) {
+	s := LRSchedule{BaseLR: 1.0, Milestones: []int{2}}
+	if math.Abs(s.At(3)-0.1) > 1e-12 {
+		t.Errorf("default factor At(3) = %v, want 0.1", s.At(3))
+	}
+}
+
+func TestLRScheduleMonotoneNonIncreasingAfterWarmup(t *testing.T) {
+	s := LRSchedule{BaseLR: 3.2, WarmupEpochs: 5, Milestones: []int{25, 35, 40, 45, 50}, Factor: 0.1}
+	prev := math.Inf(1)
+	for e := 5; e < 55; e++ {
+		v := s.At(e)
+		if v > prev {
+			t.Fatalf("LR increased after warmup at epoch %d", e)
+		}
+		prev = v
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := paramWith([]float64{0, 0}, []float64{3, 4}) // norm 5
+	norm := ClipGradNorm([]*nn.Param{p}, 1)
+	if norm != 5 {
+		t.Errorf("returned norm = %v, want 5", norm)
+	}
+	if math.Abs(p.Grad.Norm2()-1) > 1e-12 {
+		t.Errorf("clipped norm = %v, want 1", p.Grad.Norm2())
+	}
+	// Within bounds: unchanged.
+	p2 := paramWith([]float64{0}, []float64{0.5})
+	ClipGradNorm([]*nn.Param{p2}, 1)
+	if p2.Grad.Data[0] != 0.5 {
+		t.Error("in-bounds gradient modified")
+	}
+	// maxNorm <= 0: no-op.
+	p3 := paramWith([]float64{0}, []float64{10})
+	ClipGradNorm([]*nn.Param{p3}, 0)
+	if p3.Grad.Data[0] != 10 {
+		t.Error("maxNorm=0 should disable clipping")
+	}
+}

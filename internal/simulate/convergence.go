@@ -1,0 +1,144 @@
+package simulate
+
+import (
+	"math"
+)
+
+// Convergence models for the ImageNet experiments: the paper's measured
+// end-points (Table III, Figure 5) are encoded directly and interpolated.
+// This is an explicit substitution (DESIGN.md #4): full ImageNet training is
+// not reproducible here, so the *accuracy* side of Tables III and Figures
+// 5–6 comes from a calibrated model, while the *time* side comes from the
+// performance model and the real placement algorithms. The synthetic-data
+// CIFAR-scale experiments (Tables I–II, Figure 4) are trained for real.
+
+// FinalAccSGD returns the paper's SGD validation accuracy after 90 epochs.
+func FinalAccSGD(model string) float64 {
+	switch model {
+	case "resnet50":
+		return 0.762
+	case "resnet101":
+		return 0.780
+	case "resnet152":
+		return 0.782
+	}
+	return 0.76
+}
+
+// FinalAccKFAC returns the modeled K-FAC validation accuracy after 55
+// epochs as a function of the decomposition interval (iterations). The
+// staleness penalty is calibrated to Table III: negligible below ~100
+// iterations, growing smoothly through 500 and 1000.
+func FinalAccKFAC(model string, invFreq int) float64 {
+	base := map[string]float64{
+		"resnet50":  0.762,
+		"resnet101": 0.777,
+		"resnet152": 0.780,
+	}[model]
+	if base == 0 {
+		base = 0.76
+	}
+	return base - StalenessPenalty(model, invFreq)
+}
+
+// StalenessPenalty returns the validation-accuracy cost of reusing stale
+// decompositions for invFreq iterations. Piecewise-smooth fit to the
+// paper's Table III deltas (ResNet-50: −0.0% @100, −0.1% @500, −0.7% @1000;
+// ResNet-101/152: −0.0% @500, −0.4/−0.2% @1000 relative to their K-FAC
+// baselines).
+func StalenessPenalty(model string, invFreq int) float64 {
+	if invFreq <= 100 {
+		return 0
+	}
+	// Sharp growth in log-interval beyond 100: Table III shows ≈−0.1% at
+	// 500 and −0.7% at 1000 for ResNet-50, requiring a steep exponent.
+	scale := map[string]float64{
+		"resnet50":  0.007,
+		"resnet101": 0.004,
+		"resnet152": 0.002,
+	}[model]
+	if scale == 0 {
+		scale = 0.005
+	}
+	x := math.Log10(float64(invFreq) / 100) // 0 at 100, 1 at 1000
+	return scale * math.Pow(x, 5.4)
+}
+
+// CurveConfig parameterizes a validation-accuracy curve over epochs with
+// the step-decay jumps ImageNet training exhibits (Figures 4–6).
+type CurveConfig struct {
+	FinalAcc     float64
+	Epochs       int
+	WarmupEpochs int
+	// Milestones are LR-decay epochs; each adds a visible jump.
+	Milestones []int
+	// PlateauAcc is the pre-first-decay plateau (ImageNet runs hover around
+	// 0.60–0.70 before the first decay).
+	PlateauAcc float64
+}
+
+// AccuracyCurve generates a per-epoch validation-accuracy series with the
+// characteristic ImageNet step-schedule shape of Figures 4–6: the accuracy
+// tracks a target that sits at PlateauAcc until the first LR decay and jumps
+// closer to FinalAcc at each milestone (each decay closes 85% of the
+// remaining gap); per epoch the accuracy closes 35% of its gap to the
+// current target.
+func AccuracyCurve(cfg CurveConfig) []float64 {
+	out := make([]float64, cfg.Epochs)
+	plateau := cfg.PlateauAcc
+	if plateau == 0 {
+		plateau = 0.85 * cfg.FinalAcc
+	}
+	const (
+		closure = 0.85 // per-milestone gap closure toward FinalAcc
+		rate    = 0.35 // per-epoch approach rate toward the target
+	)
+	acc := 0.0
+	for e := 0; e < cfg.Epochs; e++ {
+		target := plateau
+		for _, ms := range cfg.Milestones {
+			if e >= ms {
+				target += closure * (cfg.FinalAcc - target)
+			}
+		}
+		r := rate
+		if cfg.WarmupEpochs > 0 && e < cfg.WarmupEpochs {
+			r *= float64(e+1) / float64(cfg.WarmupEpochs)
+		}
+		acc += (target - acc) * r
+		if acc > cfg.FinalAcc {
+			acc = cfg.FinalAcc
+		}
+		out[e] = acc
+	}
+	if cfg.Epochs > 0 {
+		out[cfg.Epochs-1] = cfg.FinalAcc
+	}
+	return out
+}
+
+// ResNet50Curves returns the modeled Figure 5 pair: K-FAC (55 epochs,
+// decays at 25/35/40/45/50, final 76.4%) and SGD (90 epochs, decays at
+// 30/60/80, final 76.2%), on 16 GPUs.
+func ResNet50Curves() (kfacCurve, sgdCurve []float64) {
+	kfacCurve = AccuracyCurve(CurveConfig{
+		FinalAcc: 0.764, Epochs: 55, WarmupEpochs: 5,
+		Milestones: []int{25, 35, 40, 45, 50}, PlateauAcc: 0.70,
+	})
+	sgdCurve = AccuracyCurve(CurveConfig{
+		FinalAcc: 0.762, Epochs: 90, WarmupEpochs: 5,
+		Milestones: []int{30, 60, 80}, PlateauAcc: 0.66,
+	})
+	return kfacCurve, sgdCurve
+}
+
+// EpochsToReach returns the first 1-based epoch at which the curve meets
+// the threshold, or -1.
+func EpochsToReach(curve []float64, acc float64) int {
+	for i, v := range curve {
+		if v >= acc {
+			return i + 1
+		}
+	}
+	return -1
+}

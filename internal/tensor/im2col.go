@@ -1,0 +1,95 @@
+package tensor
+
+// Im2Col lowers a batched image tensor to the matrix used by GEMM-based
+// convolution. Input x has shape [N, C, H, W]; the result has shape
+// [N*outH*outW, C*kh*kw] where each row is the receptive field of one
+// output position. With the kernel flattened to [C*kh*kw, outC] the
+// convolution is a single matrix multiply — the same lowering cuDNN and
+// PyTorch's unfold use, and the reason K-FAC's A factor for a Conv2D layer
+// has dimension C*kh*kw (+1 with bias): each im2col row is one "activation"
+// sample.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := New(n*outH*outW, c*kh*kw)
+	colW := c * kh * kw
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*stride - pad
+				row := cols.Data[((img*outH+oy)*outW+ox)*colW:]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							// Entire kernel row is padding: leave zeros.
+							idx += kw
+							continue
+						}
+						rowBase := chBase + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								row[idx] = x.Data[rowBase+ix]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters the column matrix back into image space, accumulating
+// overlapping contributions. It is the adjoint of Im2Col and is used for the
+// input-gradient of convolution. cols has shape [N*outH*outW, C*kh*kw]; the
+// result has shape [N, C, H, W].
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	x := New(n, c, h, w)
+	colW := c * kh * kw
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*stride - pad
+				row := cols.Data[((img*outH+oy)*outW+ox)*colW:]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							idx += kw
+							continue
+						}
+						rowBase := chBase + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								x.Data[rowBase+ix] += row[idx]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window of size k with the given stride and padding applied to extent in.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumAxis(t *testing.T) {
+	m := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+	}, 2, 3)
+	col := SumAxis0(m)
+	for i, want := range []float64{5, 7, 9} {
+		if col.Data[i] != want {
+			t.Fatalf("SumAxis0 = %v", col.Data)
+		}
+	}
+	row := SumAxis1(m)
+	for i, want := range []float64{6, 15} {
+		if row.Data[i] != want {
+			t.Fatalf("SumAxis1 = %v", row.Data)
+		}
+	}
+}
+
+func TestMeanVarAxis0(t *testing.T) {
+	m := FromSlice([]float64{
+		1, 10,
+		3, 10,
+	}, 2, 2)
+	mean := MeanAxis0(m)
+	if mean.Data[0] != 2 || mean.Data[1] != 10 {
+		t.Fatalf("MeanAxis0 = %v", mean.Data)
+	}
+	v := VarAxis0(m)
+	if v.Data[0] != 1 || v.Data[1] != 0 {
+		t.Fatalf("VarAxis0 = %v", v.Data)
+	}
+}
+
+func TestSliceRowsAndConcatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 6, 3, 2)
+	a := SliceRows(x, 0, 2)
+	b := SliceRows(x, 2, 6)
+	back := ConcatRows(a, b)
+	if !back.Equal(x, 0) {
+		t.Error("slice+concat does not round trip")
+	}
+	if a.Shape[0] != 2 || b.Shape[0] != 4 {
+		t.Errorf("slice shapes: %v %v", a.Shape, b.Shape)
+	}
+}
+
+func TestSliceRowsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SliceRows(New(3, 2), 1, 4)
+}
+
+func TestConcatMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ConcatRows(New(2, 3), New(2, 4))
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 3, 5, 7) // large values stress stability
+	p := Softmax(x)
+	for i := 0; i < 5; i++ {
+		var s float64
+		for j := 0; j < 7; j++ {
+			v := p.At(i, j)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxInvariantToShift(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := Randn(rng, 1, 2, 6)
+		shifted := x.Clone()
+		for i := range shifted.Data {
+			shifted.Data[i] += 123.456
+		}
+		return Softmax(x).Equal(Softmax(shifted), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSumExpMatchesDirect(t *testing.T) {
+	x := FromSlice([]float64{0, math.Log(2), math.Log(3)}, 1, 3)
+	lse := LogSumExpRows(x)
+	if math.Abs(lse.Data[0]-math.Log(6)) > 1e-12 {
+		t.Errorf("LSE = %v, want ln 6", lse.Data[0])
+	}
+	// Stability with huge values.
+	big := FromSlice([]float64{1000, 1000}, 1, 2)
+	lse = LogSumExpRows(big)
+	if math.IsInf(lse.Data[0], 0) || math.Abs(lse.Data[0]-(1000+math.Log(2))) > 1e-9 {
+		t.Errorf("LSE big = %v", lse.Data[0])
+	}
+}
+
+func TestPad2D(t *testing.T) {
+	x := New(1, 1, 2, 2)
+	x.Data = []float64{1, 2, 3, 4}
+	p := Pad2D(x, 1)
+	if p.Shape[2] != 4 || p.Shape[3] != 4 {
+		t.Fatalf("padded shape = %v", p.Shape)
+	}
+	if p.At(0, 0, 0, 0) != 0 || p.At(0, 0, 1, 1) != 1 || p.At(0, 0, 2, 2) != 4 {
+		t.Errorf("padding layout wrong: %v", p.Data)
+	}
+	if p.Sum() != x.Sum() {
+		t.Error("padding must preserve mass")
+	}
+	same := Pad2D(x, 0)
+	if !same.Equal(x, 0) {
+		t.Error("p=0 should copy")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	x := FromSlice([]float64{-5, 0.5, 5}, 3)
+	x.Clamp(-1, 1)
+	want := []float64{-1, 0.5, 1}
+	for i := range want {
+		if x.Data[i] != want[i] {
+			t.Fatalf("Clamp = %v", x.Data)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package tensor implements dense, row-major float64 tensors and the
+// numerical kernels the rest of the repository builds on: elementwise
+// arithmetic, reductions, blocked and goroutine-parallel matrix multiply,
+// transposition, and the im2col/col2im transforms used by convolution.
+//
+// The package is deliberately small and allocation-conscious: a Tensor is a
+// shape plus a flat []float64, most operations have an in-place or
+// destination-passing variant, and the parallel kernels split work across
+// runtime.GOMAXPROCS(0) goroutines only when the problem is large enough to
+// amortize the spawn cost.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tensor is a dense, row-major tensor. Data holds the elements contiguously;
+// Shape holds the extent of each dimension. A Tensor with an empty shape is a
+// scalar with a single element.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); it must have exactly the number of elements the
+// shape implies.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Zeros is an alias for New, for readability at call sites.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Ones returns a tensor of the given shape filled with 1.
+func Ones(shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = 1
+	}
+	return t
+}
+
+// Full returns a tensor of the given shape filled with v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Tensor {
+	t := New(n, n)
+	for i := 0; i < n; i++ {
+		t.Data[i*n+i] = 1
+	}
+	return t
+}
+
+// Randn fills a new tensor of the given shape with samples from
+// N(0, std²) drawn from rng.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with samples from U[lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// NDim returns the number of dimensions.
+func (t *Tensor) NDim() int { return len(t.Shape) }
+
+// Rows returns the first dimension of a matrix.
+func (t *Tensor) Rows() int { return t.Shape[0] }
+
+// Cols returns the second dimension of a matrix.
+func (t *Tensor) Cols() int { return t.Shape[1] }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns v to the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal element counts.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %d vs %d", len(t.Data), len(src.Data)))
+	}
+	copy(t.Data, src.Data)
+}
+
+// Reshape returns a tensor sharing t's data with a new shape. The element
+// count must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.Shape, len(t.Data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// AddScaled adds a*o elementwise into t (axpy).
+func (t *Tensor) AddScaled(a float64, o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddScaled size mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += a * o.Data[i]
+	}
+}
+
+// Add adds o elementwise into t.
+func (t *Tensor) Add(o *Tensor) { t.AddScaled(1, o) }
+
+// Sub subtracts o elementwise from t.
+func (t *Tensor) Sub(o *Tensor) { t.AddScaled(-1, o) }
+
+// MulElem multiplies t by o elementwise in place.
+func (t *Tensor) MulElem(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: MulElem size mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] *= o.Data[i]
+	}
+}
+
+// Lerp sets t = a*t + (1-a)*o, the running-average update used for
+// K-FAC factor accumulation (Equations 16–17 of the paper).
+func (t *Tensor) Lerp(a float64, o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Lerp size mismatch")
+	}
+	b := 1 - a
+	for i := range t.Data {
+		t.Data[i] = a*t.Data[i] + b*o.Data[i]
+	}
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Dot size mismatch")
+	}
+	var s float64
+	for i := range t.Data {
+		s += t.Data[i] * o.Data[i]
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element. Panics on empty tensors.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. Panics on empty tensors.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean (Frobenius) norm.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMaxRow returns the index of the maximum element in row r of a matrix.
+func (t *Tensor) ArgMaxRow(r int) int {
+	if t.NDim() != 2 {
+		panic("tensor: ArgMaxRow requires a matrix")
+	}
+	cols := t.Shape[1]
+	row := t.Data[r*cols : (r+1)*cols]
+	best := 0
+	for j := 1; j < cols; j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// Row returns a slice view of row r of a matrix.
+func (t *Tensor) Row(r int) []float64 {
+	if t.NDim() != 2 {
+		panic("tensor: Row requires a matrix")
+	}
+	cols := t.Shape[1]
+	return t.Data[r*cols : (r+1)*cols]
+}
+
+// Apply replaces every element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// Equal reports whether t and o have the same shape and all elements within
+// tol of each other.
+func (t *Tensor) Equal(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.Data {
+		if math.Abs(t.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNaN reports whether any element is NaN or Inf.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders small tensors fully and large ones as a summary.
+func (t *Tensor) String() string {
+	if len(t.Data) > 64 {
+		return fmt.Sprintf("Tensor%v{n=%d, mean=%.4g, norm=%.4g}",
+			t.Shape, len(t.Data), t.Mean(), t.Norm2())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v%v", t.Shape, t.Data)
+	return b.String()
+}

@@ -1,0 +1,304 @@
+// Package trainer implements the synchronous data-parallel training loop of
+// the paper (§II-B, Figure 1): per-rank forward/backward over a local
+// mini-batch shard, ring-allreduce gradient exchange, optional K-FAC
+// preconditioning (Listing 1 ordering: synchronize → precondition → step),
+// and a first-order optimizer update — plus distributed validation and the
+// learning-rate / damping / update-frequency schedules the experiments use.
+package trainer
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/kfac"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// Config parameterizes a training run. The zero value is not runnable; see
+// the field comments for required entries.
+type Config struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchPerRank is the local mini-batch size; the effective global batch
+	// is BatchPerRank × world size (the paper: 32 per GPU).
+	BatchPerRank int
+	// LR is the learning-rate schedule (already scaled for the world size,
+	// per the paper's N×0.0125 linear-scaling rule).
+	LR optim.LRSchedule
+	// Momentum for SGD (paper: 0.9).
+	Momentum float64
+	// WeightDecay for SGD (0 disables).
+	WeightDecay float64
+	// LabelSmoothing ε for the loss (paper: 0.1 on ImageNet).
+	LabelSmoothing float64
+	// KFAC enables K-FAC preconditioning when non-nil.
+	KFAC *kfac.Options
+	// DampingSchedule optionally decays K-FAC damping at fixed epochs.
+	DampingSchedule *kfac.ParamSchedule
+	// FreqSchedule optionally decays kfac-update-freq at fixed epochs.
+	FreqSchedule *kfac.ParamSchedule
+	// FusionBytes bounds the gradient-fusion buffer (0 = default 16 MB).
+	FusionBytes int
+	// Seed drives data sharding; must agree across ranks.
+	Seed int64
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+	// StopAtValAcc, when positive, ends training at the first epoch whose
+	// validation accuracy reaches the threshold — the paper's
+	// time-to-baseline measurement (e.g. 75.9% for ResNet-50/ImageNet).
+	StopAtValAcc float64
+	// TrackTop5 additionally records top-5 validation accuracy.
+	TrackTop5 bool
+	// AccumSteps accumulates gradients over this many micro-batches before
+	// the (single) gradient exchange and optimizer step, emulating a
+	// larger effective batch without more memory (0/1 = off). The
+	// effective batch becomes BatchPerRank × AccumSteps × world.
+	AccumSteps int
+}
+
+// EpochStats records one epoch of training.
+type EpochStats struct {
+	Epoch     int
+	LR        float64
+	TrainLoss float64
+	TrainAcc  float64
+	ValAcc    float64
+	ValTop5   float64 // populated when Config.TrackTop5 is set
+	Wall      time.Duration
+}
+
+// Result summarizes a training run.
+type Result struct {
+	History     []EpochStats
+	FinalValAcc float64
+	BestValAcc  float64
+	Iterations  int
+	// Stopped reports whether StopAtValAcc ended training early.
+	Stopped bool
+	// TotalWall is the summed epoch wall time (training + validation).
+	TotalWall time.Duration
+	// KFACStats holds the preconditioner's measured stage profile (nil for
+	// SGD runs) — the real-run analogue of the paper's Table V.
+	KFACStats *kfac.StageStats
+}
+
+// EpochsToReach returns the first 1-based epoch whose validation accuracy
+// meets the threshold, or -1 if never reached. This is the paper's
+// "converges to the 75.9% baseline in the 43rd epoch" measurement.
+func (r *Result) EpochsToReach(acc float64) int {
+	for _, e := range r.History {
+		if e.ValAcc >= acc {
+			return e.Epoch + 1
+		}
+	}
+	return -1
+}
+
+// TrainRank trains net on this rank's shards. c may be nil for
+// single-process runs. All ranks must use identical Config and datasets
+// (each rank loads the full dataset and iterates its shard, as PyTorch's
+// DistributedSampler does).
+func TrainRank(net *nn.Sequential, c *comm.Communicator, train, test *data.Dataset, cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 || cfg.BatchPerRank <= 0 {
+		return nil, fmt.Errorf("trainer: Epochs and BatchPerRank must be positive")
+	}
+	rank, world := 0, 1
+	if c != nil {
+		rank, world = c.Rank(), c.Size()
+	}
+	params := net.Params()
+
+	// Horovod convention: broadcast initial weights from rank 0 so all
+	// replicas start identical regardless of construction seeds.
+	if c != nil && world > 1 {
+		for _, p := range params {
+			if err := c.Broadcast(p.Value.Data, 0); err != nil {
+				return nil, fmt.Errorf("trainer: initial broadcast: %w", err)
+			}
+		}
+	}
+
+	opt := optim.NewSGD(params, cfg.LR.At(0), cfg.Momentum, cfg.WeightDecay, false)
+	var prec *kfac.Preconditioner
+	if cfg.KFAC != nil {
+		prec = kfac.New(net, c, *cfg.KFAC)
+	}
+	ce := nn.CrossEntropy{Smoothing: cfg.LabelSmoothing}
+	sampler := data.ShardSampler{N: train.Len(), Rank: rank, World: world, Seed: cfg.Seed}
+
+	res := &Result{}
+	if prec != nil {
+		res.KFACStats = prec.Stats()
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
+		lr := cfg.LR.At(epoch)
+		opt.SetLR(lr)
+		if prec != nil {
+			if cfg.DampingSchedule != nil {
+				prec.SetDamping(cfg.DampingSchedule.At(epoch))
+			}
+			if cfg.FreqSchedule != nil {
+				prec.SetInvUpdateFreq(int(cfg.FreqSchedule.At(epoch) + 0.5))
+			}
+		}
+
+		accum := cfg.AccumSteps
+		if accum < 1 {
+			accum = 1
+		}
+		batches := data.Batches(train, sampler.EpochIndices(epoch), cfg.BatchPerRank)
+		// Truncate to a whole number of accumulation groups.
+		batches = batches[:len(batches)/accum*accum]
+		var lossSum, accSum float64
+		for bi := 0; bi < len(batches); bi += accum {
+			nn.ZeroGrads(net)
+			for k := 0; k < accum; k++ {
+				b := batches[bi+k]
+				out := net.Forward(b.X, true)
+				loss, grad := ce.Loss(out, b.Labels)
+				lossSum += loss / float64(accum)
+				accSum += nn.Accuracy(out, b.Labels) / float64(accum)
+				net.Backward(grad)
+			}
+			if accum > 1 {
+				inv := 1 / float64(accum)
+				for _, p := range params {
+					p.Grad.Scale(inv)
+				}
+			}
+
+			// Gradient exchange (optimizer.synchronize() in Listing 1).
+			if c != nil && world > 1 {
+				fu := comm.NewFuser(c, cfg.FusionBytes)
+				for _, p := range params {
+					fu.Add(p.Grad)
+				}
+				if err := fu.Flush(); err != nil {
+					return nil, fmt.Errorf("trainer: gradient allreduce: %w", err)
+				}
+			}
+			// preconditioner.step() before optimizer.step().
+			if prec != nil {
+				if err := prec.Step(lr); err != nil {
+					return nil, fmt.Errorf("trainer: kfac step: %w", err)
+				}
+			}
+			opt.Step()
+			res.Iterations++
+		}
+
+		st := EpochStats{Epoch: epoch, LR: lr}
+		if groups := len(batches) / accum; groups > 0 {
+			st.TrainLoss = lossSum / float64(groups)
+			st.TrainAcc = accSum / float64(groups)
+		}
+		// Average the per-rank training metrics so logs agree across ranks.
+		if c != nil && world > 1 {
+			buf := []float64{st.TrainLoss, st.TrainAcc}
+			if err := c.AllreduceMean(buf); err != nil {
+				return nil, err
+			}
+			st.TrainLoss, st.TrainAcc = buf[0], buf[1]
+		}
+		va, top5, err := evaluateTopK(net, c, test, cfg.BatchPerRank, cfg.Seed, cfg.TrackTop5)
+		if err != nil {
+			return nil, err
+		}
+		st.ValAcc = va
+		st.ValTop5 = top5
+		st.Wall = time.Since(epochStart)
+		res.TotalWall += st.Wall
+		res.History = append(res.History, st)
+		if va > res.BestValAcc {
+			res.BestValAcc = va
+		}
+		res.FinalValAcc = va
+		if cfg.Log != nil && rank == 0 {
+			fmt.Fprintf(cfg.Log, "epoch %3d  lr %.4f  loss %.4f  train-acc %.4f  val-acc %.4f  (%.1fs)\n",
+				epoch, lr, st.TrainLoss, st.TrainAcc, st.ValAcc, st.Wall.Seconds())
+		}
+		if cfg.StopAtValAcc > 0 && va >= cfg.StopAtValAcc {
+			res.Stopped = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// Evaluate computes validation accuracy over test, sharded across ranks and
+// averaged by example count.
+func Evaluate(net *nn.Sequential, c *comm.Communicator, test *data.Dataset, batch int, seed int64) (float64, error) {
+	acc, _, err := evaluateTopK(net, c, test, batch, seed, false)
+	return acc, err
+}
+
+// evaluateTopK computes top-1 (and optionally top-5) validation accuracy.
+func evaluateTopK(net *nn.Sequential, c *comm.Communicator, test *data.Dataset,
+	batch int, seed int64, top5 bool) (float64, float64, error) {
+	rank, world := 0, 1
+	if c != nil {
+		rank, world = c.Rank(), c.Size()
+	}
+	sampler := data.ShardSampler{N: test.Len(), Rank: rank, World: world, Seed: seed}
+	idx := sampler.EpochIndices(0)
+	var correct, correct5, total float64
+	for _, b := range data.Batches(test, idx, batch) {
+		out := net.Forward(b.X, false)
+		n := float64(len(b.Labels))
+		correct += nn.Accuracy(out, b.Labels) * n
+		if top5 {
+			correct5 += metrics.TopKAccuracy(out, b.Labels, 5) * n
+		}
+		total += n
+	}
+	if c != nil && world > 1 {
+		buf := []float64{correct, correct5, total}
+		if err := c.AllreduceSum(buf); err != nil {
+			return 0, 0, err
+		}
+		correct, correct5, total = buf[0], buf[1], buf[2]
+	}
+	if total == 0 {
+		return 0, 0, nil
+	}
+	return correct / total, correct5 / total, nil
+}
+
+// RunDistributed builds one model replica per rank over an in-process
+// fabric and trains them in parallel, returning every rank's Result. buildNet
+// is called once per rank with a rank-independent seed so replicas start
+// identical (the initial broadcast enforces it regardless).
+func RunDistributed(world int, buildNet func(rng *rand.Rand) *nn.Sequential,
+	train, test *data.Dataset, cfg Config) ([]*Result, error) {
+	if world < 1 {
+		return nil, fmt.Errorf("trainer: world must be ≥ 1")
+	}
+	fab := comm.NewInprocFabric(world)
+	results := make([]*Result, world)
+	errs := make([]error, world)
+	done := make(chan int, world)
+	for r := 0; r < world; r++ {
+		go func(r int) {
+			defer func() { done <- r }()
+			net := buildNet(rand.New(rand.NewSource(12345)))
+			c := comm.NewCommunicator(fab.Endpoint(r))
+			results[r], errs[r] = TrainRank(net, c, train, test, cfg)
+		}(r)
+	}
+	for i := 0; i < world; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return results, nil
+}
