@@ -10,6 +10,11 @@ import (
 // collective consumes one sequence number that namespaces its wire tags, so
 // payloads from different collectives can interleave on the transport
 // without confusion.
+//
+// This file holds the synchronous collectives (allreduce, broadcast,
+// allgather, barrier, reduce, reduce-scatter, gather, scatter) and the
+// shared ring-phase helpers; the asynchronous handle-based variants live in
+// async.go.
 type Communicator struct {
 	t   Transport
 	seq atomic.Uint64
@@ -60,12 +65,93 @@ func (c *Communicator) sendAsync(to int, tag uint64, data []float64) chan error 
 	return ch
 }
 
+// ring describes one position in a logical ring: the transport ranks of the
+// neighbours plus this member's index and the ring's size. For the common
+// all-ranks ring the index is the transport rank; hierarchical allreduce
+// builds a leader ring whose indices are group numbers.
+type ring struct {
+	next, prev  int // transport ranks of the ring neighbours
+	index, size int // position within the ring and number of members
+}
+
+// fullRing is the ring over every rank of the communicator.
+func (c *Communicator) fullRing() ring {
+	p := c.Size()
+	r := c.Rank()
+	return ring{next: mod(r+1, p), prev: mod(r-1, p), index: r, size: p}
+}
+
+// chunkOf views chunk i of a buffer partitioned by split's counts/displs.
+func chunkOf(data []float64, counts, displs []int, i int) []float64 {
+	return data[displs[i] : displs[i]+counts[i]]
+}
+
+// ringReduceScatter runs the scatter-reduce phase of the ring allreduce:
+// size−1 steps, after which ring member i owns the fully summed chunk
+// (i+1) mod size. Tags are base | (stepOff + s).
+func (c *Communicator) ringReduceScatter(data []float64, counts, displs []int, rg ring, base uint64, stepOff int) error {
+	for s := 0; s < rg.size-1; s++ {
+		sendIdx := mod(rg.index-s, rg.size)
+		recvIdx := mod(rg.index-s-1, rg.size)
+		errCh := c.sendAsync(rg.next, opTag(base, stepOff+s), chunkOf(data, counts, displs, sendIdx))
+		in, err := c.t.Recv(rg.prev, opTag(base, stepOff+s))
+		if err != nil {
+			return err
+		}
+		if serr := <-errCh; serr != nil {
+			return serr
+		}
+		dst := chunkOf(data, counts, displs, recvIdx)
+		if len(in) != len(dst) {
+			return fmt.Errorf("comm: ring chunk size mismatch: got %d, want %d (ranks must pass equal-length buffers)", len(in), len(dst))
+		}
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	return nil
+}
+
+// ringAllgatherChunks runs the allgather phase of the ring allreduce:
+// size−1 steps circulating the reduced chunks until every member holds all
+// of them. Tags are base | (stepOff + s).
+func (c *Communicator) ringAllgatherChunks(data []float64, counts, displs []int, rg ring, base uint64, stepOff int) error {
+	for s := 0; s < rg.size-1; s++ {
+		sendIdx := mod(rg.index+1-s, rg.size)
+		recvIdx := mod(rg.index-s, rg.size)
+		errCh := c.sendAsync(rg.next, opTag(base, stepOff+s), chunkOf(data, counts, displs, sendIdx))
+		in, err := c.t.Recv(rg.prev, opTag(base, stepOff+s))
+		if err != nil {
+			return err
+		}
+		if serr := <-errCh; serr != nil {
+			return serr
+		}
+		copy(chunkOf(data, counts, displs, recvIdx), in)
+	}
+	return nil
+}
+
 // AllreduceSum sums data elementwise across all ranks, in place, using the
 // bandwidth-optimal ring algorithm: a scatter-reduce phase (p−1 steps, each
 // rank ends owning the full sum of one chunk) followed by a ring allgather
 // of the reduced chunks (p−1 steps).
 func (c *Communicator) AllreduceSum(data []float64) error {
 	return c.allreduceSumTagged(data, c.nextOp())
+}
+
+// allreduceSumTagged is AllreduceSum with an externally reserved tag base.
+func (c *Communicator) allreduceSumTagged(data []float64, base uint64) error {
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	counts, displs := split(len(data), p)
+	rg := c.fullRing()
+	if err := c.ringReduceScatter(data, counts, displs, rg, base, 0); err != nil {
+		return err
+	}
+	return c.ringAllgatherChunks(data, counts, displs, rg, base, p)
 }
 
 // AllreduceMean averages data elementwise across all ranks, in place. This
@@ -121,6 +207,11 @@ func (c *Communicator) Broadcast(data []float64, root int) error {
 // decompositions (Algorithm 1, line 18). Ring algorithm: p−1 steps, each
 // forwarding the block received in the previous step.
 func (c *Communicator) AllgatherV(mine []float64) ([][]float64, error) {
+	return c.allgatherVTagged(mine, c.nextOp())
+}
+
+// allgatherVTagged is AllgatherV with an externally reserved tag base.
+func (c *Communicator) allgatherVTagged(mine []float64, base uint64) ([][]float64, error) {
 	p := c.Size()
 	r := c.Rank()
 	out := make([][]float64, p)
@@ -130,7 +221,6 @@ func (c *Communicator) AllgatherV(mine []float64) ([][]float64, error) {
 	if p == 1 {
 		return out, nil
 	}
-	base := c.nextOp()
 	next, prev := mod(r+1, p), mod(r-1, p)
 	for s := 0; s < p-1; s++ {
 		sendIdx := mod(r-s, p)
@@ -153,93 +243,125 @@ func (c *Communicator) Barrier() error {
 	return c.AllreduceSum(one)
 }
 
-// Handle is an asynchronous collective in flight, in the style of Horovod's
-// communication handles: the caller registers operations as results become
-// available and waits for completion in batches (paper §V-A).
-type Handle struct {
-	done chan struct{}
-	err  error
-}
-
-// Wait blocks until the operation completes and returns its error.
-func (h *Handle) Wait() error {
-	<-h.done
-	return h.err
-}
-
-// AllreduceSumAsync starts an asynchronous in-place sum-allreduce. The tag
-// namespace is reserved synchronously at call time, so as long as every rank
-// issues the same collectives in the same program order, overlapping
-// operations cannot cross-match.
-func (c *Communicator) AllreduceSumAsync(data []float64) *Handle {
-	base := c.nextOp()
-	h := &Handle{done: make(chan struct{})}
-	go func() {
-		defer close(h.done)
-		h.err = c.allreduceSumTagged(data, base)
-	}()
-	return h
-}
-
-// AllreduceMeanAsync starts an asynchronous in-place mean-allreduce.
-func (c *Communicator) AllreduceMeanAsync(data []float64) *Handle {
-	base := c.nextOp()
-	h := &Handle{done: make(chan struct{})}
-	go func() {
-		defer close(h.done)
-		if err := c.allreduceSumTagged(data, base); err != nil {
-			h.err = err
-			return
-		}
-		inv := 1 / float64(c.Size())
-		for i := range data {
-			data[i] *= inv
-		}
-	}()
-	return h
-}
-
-// allreduceSumTagged is AllreduceSum with an externally reserved tag base.
-func (c *Communicator) allreduceSumTagged(data []float64, base uint64) error {
+// Reduce sums data from all ranks onto root (in place on root; other ranks'
+// buffers are left unchanged). Binomial-tree reduction, log₂(p) rounds.
+func (c *Communicator) Reduce(data []float64, root int) error {
 	p := c.Size()
 	if p == 1 {
 		return nil
 	}
 	r := c.Rank()
-	counts, displs := split(len(data), p)
-	next, prev := mod(r+1, p), mod(r-1, p)
-	chunk := func(i int) []float64 { return data[displs[i] : displs[i]+counts[i]] }
-	for s := 0; s < p-1; s++ {
-		sendIdx := mod(r-s, p)
-		recvIdx := mod(r-s-1, p)
-		errCh := c.sendAsync(next, opTag(base, s), chunk(sendIdx))
-		in, err := c.t.Recv(prev, opTag(base, s))
-		if err != nil {
-			return err
-		}
-		if serr := <-errCh; serr != nil {
-			return serr
-		}
-		dst := chunk(recvIdx)
-		if len(in) != len(dst) {
-			return fmt.Errorf("comm: allreduce chunk size mismatch: got %d, want %d (ranks must pass equal-length buffers)", len(in), len(dst))
-		}
-		for i := range dst {
-			dst[i] += in[i]
-		}
+	base := c.nextOp()
+	rel := mod(r-root, p)
+	// Accumulate into a scratch copy so non-root callers keep their input.
+	acc := data
+	if r != root {
+		acc = make([]float64, len(data))
+		copy(acc, data)
 	}
-	for s := 0; s < p-1; s++ {
-		sendIdx := mod(r+1-s, p)
-		recvIdx := mod(r-s, p)
-		errCh := c.sendAsync(next, opTag(base, p+s), chunk(sendIdx))
-		in, err := c.t.Recv(prev, opTag(base, p+s))
-		if err != nil {
-			return err
+	// Largest power of two ≥ p.
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	for offset := 1; offset < top; offset <<= 1 {
+		if rel%(2*offset) == offset {
+			// Sender this round.
+			peer := rel - offset
+			return c.t.Send(mod(peer+root, p), opTag(base, offset), acc)
 		}
-		if serr := <-errCh; serr != nil {
-			return serr
+		if rel%(2*offset) == 0 && rel+offset < p {
+			in, err := c.t.Recv(mod(rel+offset+root, p), opTag(base, offset))
+			if err != nil {
+				return err
+			}
+			if len(in) != len(acc) {
+				return fmt.Errorf("comm: reduce size mismatch: %d != %d", len(in), len(acc))
+			}
+			for i := range acc {
+				acc[i] += in[i]
+			}
 		}
-		copy(chunk(recvIdx), in)
 	}
 	return nil
+}
+
+// ReduceScatter sums data elementwise across ranks and leaves each rank
+// with its chunk of the result (the first phase of the ring allreduce).
+// Returns this rank's reduced chunk; data is clobbered as scratch.
+func (c *Communicator) ReduceScatter(data []float64) ([]float64, error) {
+	p := c.Size()
+	r := c.Rank()
+	counts, displs := split(len(data), p)
+	if p == 1 {
+		out := make([]float64, counts[0])
+		copy(out, data)
+		return out, nil
+	}
+	if err := c.ringReduceScatter(data, counts, displs, c.fullRing(), c.nextOp(), 0); err != nil {
+		return nil, err
+	}
+	// After p−1 steps this rank owns the fully reduced chunk (r+1) mod p.
+	own := mod(r+1, p)
+	out := make([]float64, counts[own])
+	copy(out, chunkOf(data, counts, displs, own))
+	return out, nil
+}
+
+// OwnedChunk returns the index of the chunk ReduceScatter leaves on this
+// rank, and its extent within the original buffer.
+func (c *Communicator) OwnedChunk(n int) (index, offset, length int) {
+	p := c.Size()
+	counts, displs := split(n, p)
+	idx := mod(c.Rank()+1, p)
+	return idx, displs[idx], counts[idx]
+}
+
+// Gather collects each rank's (variable-length) contribution onto root.
+// root receives a per-rank slice; other ranks receive nil.
+func (c *Communicator) Gather(mine []float64, root int) ([][]float64, error) {
+	p := c.Size()
+	base := c.nextOp()
+	if c.Rank() != root {
+		return nil, c.t.Send(root, opTag(base, c.Rank()), mine)
+	}
+	out := make([][]float64, p)
+	cp := make([]float64, len(mine))
+	copy(cp, mine)
+	out[root] = cp
+	for r := 0; r < p; r++ {
+		if r == root {
+			continue
+		}
+		in, err := c.t.Recv(r, opTag(base, r))
+		if err != nil {
+			return nil, err
+		}
+		out[r] = in
+	}
+	return out, nil
+}
+
+// Scatter distributes root's per-rank payloads; each rank returns its own
+// slice. chunks is only read on root and must have one entry per rank.
+func (c *Communicator) Scatter(chunks [][]float64, root int) ([]float64, error) {
+	p := c.Size()
+	base := c.nextOp()
+	if c.Rank() == root {
+		if len(chunks) != p {
+			return nil, fmt.Errorf("comm: scatter needs %d chunks, got %d", p, len(chunks))
+		}
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.t.Send(r, opTag(base, r), chunks[r]); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]float64, len(chunks[root]))
+		copy(out, chunks[root])
+		return out, nil
+	}
+	return c.t.Recv(root, opTag(base, c.Rank()))
 }

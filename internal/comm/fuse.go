@@ -1,6 +1,8 @@
 package comm
 
 import (
+	"sync"
+
 	"repro/internal/tensor"
 )
 
@@ -9,17 +11,55 @@ import (
 // allreduce() is bandwidth dominated").
 const DefaultFusionBytes = 16 << 20
 
+// Chunk is one fused allreduce in flight: a packed buffer plus the tensors
+// it was packed from. Wait blocks for the collective and scatters the
+// averaged values back into the original tensors exactly once; it is safe
+// to call from multiple goroutines.
+type Chunk struct {
+	h       *Handle
+	buf     []float64
+	tensors []*tensor.Tensor
+	once    sync.Once
+	err     error
+}
+
+// Tensors returns the tensors fused into this chunk, in Add order.
+func (ch *Chunk) Tensors() []*tensor.Tensor { return ch.tensors }
+
+// Wait blocks until the fused allreduce completes, scatters the averaged
+// buffer back into the source tensors, and returns the operation's error.
+func (ch *Chunk) Wait() error {
+	ch.once.Do(func() {
+		if err := ch.h.Wait(); err != nil {
+			ch.err = err
+			return
+		}
+		off := 0
+		for _, t := range ch.tensors {
+			copy(t.Data, ch.buf[off:off+t.Len()])
+			off += t.Len()
+		}
+	})
+	return ch.err
+}
+
 // Fuser batches small tensors into large allreduce payloads, imitating
 // Horovod's tensor-fusion buffer. Callers Add tensors (in identical order on
-// every rank) and Flush when done; tensors are averaged in place.
+// every rank) and either Flush when done (synchronous use) or consume
+// launched chunks incrementally via TakeLaunched/FlushAsync (streaming use:
+// the pipelined K-FAC engine reacts to each chunk as it lands instead of
+// blocking on the whole set). Tensors are averaged in place.
+//
+// Chunk boundaries are a deterministic function of the Add sequence and the
+// byte limit, so every rank launches identical collectives in identical
+// order — the SPMD requirement for the underlying async allreduces.
 type Fuser struct {
 	comm      *Communicator
 	limit     int // bytes
 	pending   []*tensor.Tensor
 	pendingSz int // bytes
-	handles   []*Handle
-	fusedBufs [][]float64
-	fusedSets [][]*tensor.Tensor
+	launched  []*Chunk
+	taken     int // prefix of launched already handed out
 }
 
 // NewFuser creates a fusion buffer over comm with the given byte threshold.
@@ -31,8 +71,9 @@ func NewFuser(comm *Communicator, limitBytes int) *Fuser {
 	return &Fuser{comm: comm, limit: limitBytes}
 }
 
-// Add enqueues t for averaging. When the pending set exceeds the fusion
-// threshold, an asynchronous fused allreduce is launched.
+// Add enqueues t for averaging. When the pending set reaches the fusion
+// threshold, an asynchronous fused allreduce is launched. A single tensor
+// larger than the threshold forms a chunk of its own.
 func (f *Fuser) Add(t *tensor.Tensor) {
 	f.pending = append(f.pending, t)
 	f.pendingSz += 8 * t.Len()
@@ -57,32 +98,50 @@ func (f *Fuser) launch() {
 		copy(buf[off:], t.Data)
 		off += t.Len()
 	}
-	f.handles = append(f.handles, f.comm.AllreduceMeanAsync(buf))
-	f.fusedBufs = append(f.fusedBufs, buf)
-	f.fusedSets = append(f.fusedSets, f.pending)
+	h := completedHandle()
+	if total > 0 {
+		// Zero-element chunks (all-empty tensors) need no wire traffic; every
+		// rank sees the same sizes, so all skip identically.
+		h = f.comm.AllreduceMeanAsync(buf)
+	}
+	f.launched = append(f.launched, &Chunk{h: h, buf: buf, tensors: f.pending})
 	f.pending = nil
 	f.pendingSz = 0
 }
 
+// TakeLaunched returns the chunks launched since the previous call (or
+// since creation). It does not force pending tensors out; use FlushAsync at
+// the end of the Add sequence.
+func (f *Fuser) TakeLaunched() []*Chunk {
+	out := f.launched[f.taken:len(f.launched):len(f.launched)]
+	f.taken = len(f.launched)
+	return out
+}
+
+// FlushAsync launches any remaining pending tensors and returns the chunks
+// not yet handed out by TakeLaunched. The caller waits on each chunk.
+func (f *Fuser) FlushAsync() []*Chunk {
+	f.launch()
+	return f.TakeLaunched()
+}
+
 // Flush launches any remaining fused operation, waits for all in-flight
-// operations, and scatters results back into the original tensors.
+// operations (including chunks already handed out via TakeLaunched), and
+// scatters results back into the original tensors.
 func (f *Fuser) Flush() error {
 	f.launch()
-	for i, h := range f.handles {
-		if err := h.Wait(); err != nil {
-			return err
-		}
-		buf := f.fusedBufs[i]
-		off := 0
-		for _, t := range f.fusedSets[i] {
-			copy(t.Data, buf[off:off+t.Len()])
-			off += t.Len()
+	var firstErr error
+	for _, ch := range f.launched {
+		if err := ch.Wait(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	f.handles = f.handles[:0]
-	f.fusedBufs = f.fusedBufs[:0]
-	f.fusedSets = f.fusedSets[:0]
-	return nil
+	// Drop the backing array: slices previously handed out by TakeLaunched
+	// alias it, and reusing it via launched[:0] would overwrite their
+	// elements on the next launch.
+	f.launched = nil
+	f.taken = 0
+	return firstErr
 }
 
 // AllreduceMeanTensors averages a set of tensors across ranks through a

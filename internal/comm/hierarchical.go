@@ -51,41 +51,21 @@ func (c *Communicator) HierarchicalAllreduceMean(data []float64, groupSize int) 
 		}
 	}
 
-	// Phase 2: ring allreduce among leaders. Leader g exchanges with
-	// neighbouring leaders by group index.
+	// Phase 2: ring allreduce among leaders, reusing the shared ring-phase
+	// helpers over a ring indexed by group number.
 	if r == leader && numGroups > 1 {
 		counts, displs := split(len(data), numGroups)
-		nextLeader := mod(group+1, numGroups) * groupSize
-		prevLeader := mod(group-1, numGroups) * groupSize
-		chunk := func(i int) []float64 { return data[displs[i] : displs[i]+counts[i]] }
-		for s := 0; s < numGroups-1; s++ {
-			sendIdx := mod(group-s, numGroups)
-			recvIdx := mod(group-s-1, numGroups)
-			errCh := c.sendAsync(nextLeader, opTag(base, uint16Step(2, s)), chunk(sendIdx))
-			in, err := c.t.Recv(prevLeader, opTag(base, uint16Step(2, s)))
-			if err != nil {
-				return err
-			}
-			if serr := <-errCh; serr != nil {
-				return serr
-			}
-			dst := chunk(recvIdx)
-			for i := range dst {
-				dst[i] += in[i]
-			}
+		rg := ring{
+			next:  mod(group+1, numGroups) * groupSize,
+			prev:  mod(group-1, numGroups) * groupSize,
+			index: group,
+			size:  numGroups,
 		}
-		for s := 0; s < numGroups-1; s++ {
-			sendIdx := mod(group+1-s, numGroups)
-			recvIdx := mod(group-s, numGroups)
-			errCh := c.sendAsync(nextLeader, opTag(base, uint16Step(3, s)), chunk(sendIdx))
-			in, err := c.t.Recv(prevLeader, opTag(base, uint16Step(3, s)))
-			if err != nil {
-				return err
-			}
-			if serr := <-errCh; serr != nil {
-				return serr
-			}
-			copy(chunk(recvIdx), in)
+		if err := c.ringReduceScatter(data, counts, displs, rg, base, uint16Step(2, 0)); err != nil {
+			return err
+		}
+		if err := c.ringAllgatherChunks(data, counts, displs, rg, base, uint16Step(3, 0)); err != nil {
+			return err
 		}
 	}
 

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation-placement", "ablation-fusion", "ablation-clip", "ablation-damping",
-		"ablation-updatefreq", "profile", "memory", "ablation-compression",
+		"ablation-updatefreq", "profile", "pipeline", "memory", "ablation-compression",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,500 @@
+package kfac
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// Engine selects the Step execution engine.
+type Engine int
+
+const (
+	// EngineSync executes the K-FAC update stages strictly in sequence
+	// (compute all factors → fused allreduce → decompose owned layers →
+	// monolithic allgather), as in the seed implementation. It remains the
+	// default so ablations and the existing test matrix exercise it.
+	EngineSync Engine = iota
+	// EnginePipelined drives per-layer units through a staged pipeline over
+	// an internal sched.Pool: covariance computation for layer i+1 overlaps
+	// the in-flight fused allreduce of layer i, eigendecompositions of a
+	// rank's owned layers run in parallel across cores, and the
+	// decomposition exchange is a per-layer streamed allgather instead of a
+	// monolithic one. Both engines produce numerically identical
+	// preconditioned gradients (see TestPipelinedMatchesSync): chunk
+	// boundaries, collective payloads, and every floating-point reduction
+	// order are shared with the synchronous path.
+	EnginePipelined
+)
+
+// String names the engine for logs and experiment tables.
+func (e Engine) String() string {
+	if e == EnginePipelined {
+		return "pipelined"
+	}
+	return "sync"
+}
+
+// ensurePool lazily creates the worker pool for the pipelined engine. Step
+// is invoked from a single goroutine per rank, so no locking is needed.
+func (p *Preconditioner) ensurePool() *sched.Pool {
+	if p.pool == nil {
+		p.pool = sched.NewPool(p.opts.PipelineWorkers)
+	}
+	return p.pool
+}
+
+// Close releases the pipelined engine's worker pool. It is safe to call on
+// any preconditioner (a no-op for the sync engine) and after Close the
+// preconditioner may still Step — the pool is recreated on demand.
+func (p *Preconditioner) Close() {
+	if p.pool != nil {
+		p.pool.Close()
+		p.pool = nil
+	}
+}
+
+// commWindow measures a communication phase as the wall-clock span from the
+// first operation issued to the last completion observed. Unlike summing
+// per-operation blocked time, the span cannot double-count intervals where
+// several operations were in flight at once, so the overlap accounting
+// built on it stays honest.
+type commWindow struct {
+	mu      sync.Mutex
+	started bool
+	start   time.Time
+	last    time.Time
+}
+
+// open records the phase start at the first call; later calls are no-ops.
+func (w *commWindow) open() {
+	w.mu.Lock()
+	if !w.started {
+		w.started = true
+		w.start = time.Now()
+		w.last = w.start
+	}
+	w.mu.Unlock()
+}
+
+// mark extends the phase end to now.
+func (w *commWindow) mark() {
+	w.mu.Lock()
+	if t := time.Now(); t.After(w.last) {
+		w.last = t
+	}
+	w.mu.Unlock()
+}
+
+// duration returns the measured span (zero if the phase never opened).
+func (w *commWindow) duration() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started {
+		return 0
+	}
+	return w.last.Sub(w.start)
+}
+
+// pipelineRun carries the transient state of one pipelined update phase.
+type pipelineRun struct {
+	p           *Preconditioner
+	doFactors   bool
+	doDecomp    bool
+	distributed bool
+	mine        int
+
+	// Per-layer stage events (distributed path only).
+	covDone    []chan struct{}
+	averaged   []chan struct{}
+	decomposed []chan struct{}
+
+	// failed is closed once on the first error so stage waiters unblock
+	// promptly instead of deadlocking on events that will never fire.
+	failed   chan struct{}
+	failOnce sync.Once
+	failErr  error
+
+	grp sched.Group
+	// taskWG tracks pool tasks submitted by the distributed path, so a
+	// failing run drains them before Step returns — otherwise an abandoned
+	// covariance task could still be mutating layer state while the caller
+	// retries or tears down.
+	taskWG sync.WaitGroup
+
+	// Compute timings in nanoseconds (accumulated atomically across
+	// workers) and communication phase windows.
+	facCompNS, eigCompNS atomic.Int64
+	idleNS               atomic.Int64
+	facCommWin           commWindow
+	eigCommWin           commWindow
+}
+
+func (r *pipelineRun) fail(err error) {
+	r.failOnce.Do(func() {
+		r.failErr = err
+		close(r.failed)
+	})
+}
+
+// waitEvent blocks until ev fires or the pipeline fails; it reports whether
+// the caller should proceed.
+func (r *pipelineRun) waitEvent(ev chan struct{}) bool {
+	if ev == nil {
+		return true
+	}
+	select {
+	case <-ev:
+		return true
+	case <-r.failed:
+		return false
+	}
+}
+
+// waitEventIdle is waitEvent with the blocked time charged to the idle
+// counter. Only the collective issuer uses it: issuer starvation is the
+// "pipeline stalled waiting for upstream compute" measure StageStats
+// reports, whereas gate goroutines and the final barrier block by design.
+func (r *pipelineRun) waitEventIdle(ev chan struct{}) bool {
+	if ev == nil {
+		return true
+	}
+	select {
+	case <-ev:
+		return true
+	default:
+	}
+	start := time.Now()
+	defer func() { r.idleNS.Add(int64(time.Since(start))) }()
+	return r.waitEvent(ev)
+}
+
+// submit runs fn on the pool, tracked by taskWG so the run can drain.
+func (r *pipelineRun) submit(pool *sched.Pool, fn func()) {
+	r.taskWG.Add(1)
+	pool.Submit(func() {
+		defer r.taskWG.Done()
+		fn()
+	})
+}
+
+// updatePipelined runs the factor and/or decomposition update as a staged
+// per-layer pipeline, then folds the stage timings into the shared stats.
+func (p *Preconditioner) updatePipelined(doFactors, doDecomp bool) error {
+	n := len(p.states)
+	if n == 0 {
+		return nil
+	}
+	pool := p.ensurePool()
+	wallStart := time.Now()
+	r := &pipelineRun{
+		p:           p,
+		doFactors:   doFactors,
+		doDecomp:    doDecomp,
+		distributed: p.comm != nil && p.comm.Size() > 1,
+		mine:        p.rank(),
+		failed:      make(chan struct{}),
+	}
+
+	var err error
+	if r.distributed {
+		err = r.runDistributed(pool)
+	} else {
+		err = r.runLocal(pool)
+	}
+
+	st := &p.stats
+	st.mu.Lock()
+	facComp := time.Duration(r.facCompNS.Load())
+	eigComp := time.Duration(r.eigCompNS.Load())
+	facComm := r.facCommWin.duration()
+	eigComm := r.eigCommWin.duration()
+	st.FactorCompute += facComp
+	st.FactorComm += facComm
+	st.EigCompute += eigComp
+	st.EigComm += eigComm
+	if doFactors {
+		st.FactorUpdates++
+	}
+	if doDecomp {
+		st.EigUpdates++
+	}
+	st.PipelineWall += time.Since(wallStart)
+	st.PipelineWork += facComp + facComm + eigComp + eigComm
+	st.PipelineIdle += time.Duration(r.idleNS.Load())
+	st.PipelineUpdates++
+	st.mu.Unlock()
+	return err
+}
+
+// runLocal executes the single-process pipeline as a pure sched.Graph: one
+// covariance task per layer, with each layer's decomposition task depending
+// on its covariance task. No events or collectives are involved, so layer
+// parallelism is bounded only by the pool.
+func (r *pipelineRun) runLocal(pool *sched.Pool) error {
+	g := sched.NewGraph(pool)
+	var covTasks []*sched.Task
+	if r.doFactors {
+		covTasks = make([]*sched.Task, len(r.p.states))
+		for i, s := range r.p.states {
+			s := s
+			covTasks[i] = g.Add(func() error {
+				r.computeCov(s)
+				return nil
+			})
+		}
+	}
+	if r.doDecomp {
+		for i, s := range r.p.states {
+			i, s := i, s
+			var deps []*sched.Task
+			if covTasks != nil {
+				deps = append(deps, covTasks[i])
+			}
+			g.Add(func() error { return r.decomposeLayer(i, s) }, deps...)
+		}
+	}
+	return g.Wait()
+}
+
+// runDistributed executes the event-driven pipeline: pool tasks feed
+// per-layer events, a single issuer goroutine drives all collectives, and
+// waiter goroutines fan results back in.
+func (r *pipelineRun) runDistributed(pool *sched.Pool) error {
+	n := len(r.p.states)
+	if r.doFactors {
+		r.covDone = make([]chan struct{}, n)
+		r.averaged = make([]chan struct{}, n)
+		for i := range r.covDone {
+			r.covDone[i] = make(chan struct{})
+			r.averaged[i] = make(chan struct{})
+		}
+		for i, s := range r.p.states {
+			i, s := i, s
+			r.submit(pool, func() {
+				r.computeCov(s)
+				close(r.covDone[i])
+			})
+		}
+	}
+	if r.doDecomp {
+		r.decomposed = make([]chan struct{}, n)
+		for i := range r.decomposed {
+			r.decomposed[i] = make(chan struct{})
+		}
+		for i, s := range r.p.states {
+			i, s := i, s
+			var gate chan struct{}
+			if r.doFactors {
+				gate = r.averaged[i]
+			}
+			r.grp.Go(func() error {
+				if !r.waitEvent(gate) {
+					return nil
+				}
+				r.submit(pool, func() {
+					if err := r.decomposeLayer(i, s); err != nil {
+						r.fail(err)
+						return
+					}
+					close(r.decomposed[i])
+				})
+				return nil
+			})
+		}
+	}
+	r.grp.Go(r.runIssuer)
+
+	// Final barrier: every layer must clear its last stage (or the pipeline
+	// must have failed), then the waiter goroutines and pool tasks drain.
+	final := r.decomposed
+	if final == nil {
+		final = r.averaged
+	}
+	for i := 0; i < n; i++ {
+		if !r.waitEvent(final[i]) {
+			break
+		}
+	}
+	err := r.grp.Wait()
+	r.taskWG.Wait()
+	if r.failErr != nil {
+		err = r.failErr
+	}
+	return err
+}
+
+// computeCov computes a layer's local covariance factors and folds them
+// into the running averages (Equations 16–17).
+func (r *pipelineRun) computeCov(s *layerState) {
+	start := time.Now()
+	covA := ComputeCovA(s.layer)
+	covG := ComputeCovG(s.layer)
+	if s.A == nil {
+		s.A, s.G = covA, covG
+	} else {
+		s.A.Lerp(r.p.opts.FactorDecay, covA)
+		s.G.Lerp(r.p.opts.FactorDecay, covG)
+	}
+	r.facCompNS.Add(int64(time.Since(start)))
+}
+
+// decomposeLayer computes the π correction and eigendecomposes (or
+// inverts) this rank's owned factors for one layer.
+func (r *pipelineRun) decomposeLayer(i int, s *layerState) error {
+	start := time.Now()
+	defer func() { r.eigCompNS.Add(int64(time.Since(start))) }()
+	if r.p.opts.PiDamping {
+		s.pi = PiCorrection(s.A, s.G)
+	} else {
+		s.pi = 1
+	}
+	if !r.distributed || s.aWorker == r.mine {
+		if err := r.p.decomposeA(s); err != nil {
+			return fmt.Errorf("kfac: layer %d A: %w", i, err)
+		}
+	}
+	if !r.distributed || s.gWorker == r.mine {
+		if err := r.p.decomposeG(s); err != nil {
+			return fmt.Errorf("kfac: layer %d G: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runIssuer is the single goroutine that issues every collective of the
+// pipeline. Order is deterministic and identical on all ranks: fused factor
+// allreduce chunks as covariance results land (layer order), then one
+// allgather per layer as decompositions land (layer order). This is what
+// keeps overlapping async collectives from cross-matching: tag namespaces
+// are reserved at call time in the same sequence everywhere.
+func (r *pipelineRun) runIssuer() error {
+	p := r.p
+	if r.doFactors {
+		fu := comm.NewFuser(p.comm, p.opts.FusionBytes)
+		layerOf := make(map[*tensor.Tensor]int, 2*len(p.states))
+		remaining := make([]atomic.Int32, len(p.states))
+		for i, s := range p.states {
+			if !r.waitEventIdle(r.covDone[i]) {
+				return nil
+			}
+			layerOf[s.A] = i
+			layerOf[s.G] = i
+			remaining[i].Store(2)
+			fu.Add(s.A)
+			fu.Add(s.G)
+			r.spawnChunkWaiters(fu.TakeLaunched(), layerOf, remaining)
+		}
+		r.spawnChunkWaiters(fu.FlushAsync(), layerOf, remaining)
+	}
+	if r.doDecomp && p.opts.Strategy != LayerWise {
+		// Under LayerWise the decompositions stay on the owning worker; the
+		// preconditioned gradients are broadcast each iteration instead.
+		for i, s := range p.states {
+			if !r.waitEventIdle(r.decomposed[i]) {
+				return nil
+			}
+			var buf []float64
+			if s.aWorker == r.mine {
+				buf = p.appendRecord(buf, float64(i), 0, s, false)
+			}
+			if s.gWorker == r.mine {
+				buf = p.appendRecord(buf, float64(i), 1, s, true)
+			}
+			r.eigCommWin.open()
+			h := p.comm.AllgatherVAsync(buf)
+			r.grp.Go(func() error {
+				blocks, err := h.Wait()
+				r.eigCommWin.mark()
+				if err != nil {
+					r.fail(err)
+					return err
+				}
+				for rank, block := range blocks {
+					if rank == r.mine {
+						continue
+					}
+					if err := p.consumeRecords(block); err != nil {
+						r.fail(err)
+						return err
+					}
+				}
+				return nil
+			})
+		}
+	}
+	return nil
+}
+
+// spawnChunkWaiters waits on each launched fused-allreduce chunk on its own
+// goroutine; when a chunk lands its tensors are scattered back and the
+// layers whose factors are now fully averaged fire their averaged events.
+// The tensor→layer resolution happens here, on the issuer goroutine, so
+// the (still growing) layerOf map is never touched concurrently.
+func (r *pipelineRun) spawnChunkWaiters(chunks []*comm.Chunk, layerOf map[*tensor.Tensor]int, remaining []atomic.Int32) {
+	for _, ch := range chunks {
+		ch := ch
+		layers := make([]int, len(ch.Tensors()))
+		for j, t := range ch.Tensors() {
+			layers[j] = layerOf[t]
+		}
+		r.facCommWin.open()
+		r.grp.Go(func() error {
+			err := ch.Wait()
+			r.facCommWin.mark()
+			if err != nil {
+				r.fail(err)
+				return err
+			}
+			for _, i := range layers {
+				if remaining[i].Add(-1) == 0 {
+					close(r.averaged[i])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// preconditionParallel is the pipelined-engine analogue of precondition:
+// per-layer preconditioning runs on the worker pool (via a sched.Graph),
+// while the κ gradient scaling keeps its deterministic layer-order
+// reduction so results are bit-identical to the synchronous engine. The
+// LayerWise broadcast scheme keeps the sequential path — its per-layer
+// broadcasts are ordered collectives.
+func (p *Preconditioner) preconditionParallel(lr float64) error {
+	if p.opts.Strategy == LayerWise && p.comm != nil && p.comm.Size() > 1 {
+		return p.precondition(lr)
+	}
+	start := time.Now()
+	defer func() {
+		p.stats.add(&p.stats.Precondition, time.Since(start))
+		p.stats.mu.Lock()
+		p.stats.Steps++
+		p.stats.mu.Unlock()
+	}()
+	n := len(p.states)
+	grads := make([]*tensor.Tensor, n)
+	preconds := make([]*tensor.Tensor, n)
+	for i, s := range p.states {
+		grads[i] = s.layer.CombinedGrad()
+	}
+	g := sched.NewGraph(p.ensurePool())
+	for i, s := range p.states {
+		i, s := i, s
+		g.Add(func() error {
+			preconds[i] = p.preconditionOne(s, grads[i])
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	p.applyKLClip(lr, grads, preconds)
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/linalg"
 	"repro/internal/nn"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 )
 
@@ -66,6 +67,14 @@ type Options struct {
 	// MaxFactorDim excludes layers whose A or G factor would exceed this
 	// dimension (0 = no limit) — a memory/time guard for very wide layers.
 	MaxFactorDim int
+	// Engine selects how Step executes its stages: EngineSync (default)
+	// runs them strictly in sequence; EnginePipelined overlaps per-layer
+	// factor computation, fused async allreduce, eigendecomposition, and a
+	// streamed per-layer allgather. Both engines are numerically identical.
+	Engine Engine
+	// PipelineWorkers bounds the pipelined engine's compute pool
+	// (0 = GOMAXPROCS). Ignored by EngineSync.
+	PipelineWorkers int
 }
 
 func (o *Options) fillDefaults() {
@@ -113,6 +122,7 @@ type Preconditioner struct {
 	states []*layerState
 	step   int
 	stats  StageStats
+	pool   *sched.Pool // lazily created by the pipelined engine
 }
 
 // New builds a preconditioner over every K-FAC-capturable layer of model
@@ -219,16 +229,32 @@ func (p *Preconditioner) StepCount() int { return p.step }
 // gradients have been computed (and averaged across ranks) and before the
 // optimizer update. lr is the current learning rate, used by the κ gradient
 // scaling (Equation 18).
+//
+// All ranks must call Step the same number of times with identical options
+// and an identically ordered layer list (guaranteed when every rank builds
+// the same model): the collective schedule — and under EnginePipelined the
+// async collective issue order — is a deterministic function of that state.
 func (p *Preconditioner) Step(lr float64) error {
 	iter := p.step
 	p.step++
 
-	if iter%p.opts.FactorUpdateFreq == 0 {
+	doFactors := iter%p.opts.FactorUpdateFreq == 0
+	doDecomp := iter%p.opts.InvUpdateFreq == 0
+	if p.opts.Engine == EnginePipelined {
+		if doFactors || doDecomp {
+			if err := p.updatePipelined(doFactors, doDecomp); err != nil {
+				return err
+			}
+		}
+		return p.preconditionParallel(lr)
+	}
+
+	if doFactors {
 		if err := p.updateFactors(); err != nil {
 			return err
 		}
 	}
-	if iter%p.opts.InvUpdateFreq == 0 {
+	if doDecomp {
 		if err := p.updateDecompositions(); err != nil {
 			return err
 		}
@@ -404,7 +430,15 @@ func (p *Preconditioner) precondition(lr float64) error {
 		}
 	}
 
-	// κ gradient scaling (Equation 18): ν = min(1, sqrt(κ / (lr²·Σ|v·g|))).
+	p.applyKLClip(lr, grads, preconds)
+	return nil
+}
+
+// applyKLClip applies the κ gradient scaling (Equation 18) and writes the
+// preconditioned gradients back: ν = min(1, sqrt(κ / (lr²·Σ|v·g|))). The
+// dot-product reduction runs in layer order so both step engines produce
+// bit-identical results.
+func (p *Preconditioner) applyKLClip(lr float64, grads, preconds []*tensor.Tensor) {
 	nu := 1.0
 	if p.opts.KLClip > 0 {
 		var vg float64
@@ -421,7 +455,6 @@ func (p *Preconditioner) precondition(lr float64) error {
 		}
 		s.layer.SetCombinedGrad(preconds[i])
 	}
-	return nil
 }
 
 // preconditionOne computes (F̂ᵢ+γI)⁻¹∇L for a single layer from the stored

@@ -22,6 +22,19 @@ type StageStats struct {
 	FactorUpdates int
 	EigUpdates    int
 	Steps         int
+
+	// Pipelined-engine metrics (zero under EngineSync). PipelineWall is the
+	// wall-clock spent inside pipelined update phases; PipelineWork is the
+	// summed stage time folded into those phases — per-task compute time
+	// plus each communication phase measured as a first-issue→last-
+	// completion window (so concurrent in-flight collectives are never
+	// double-counted); PipelineIdle is the time stage issuers spent
+	// starved, blocked on upstream per-layer events. Work in excess of
+	// wall is time the pipeline overlapped — see Overlap.
+	PipelineWall    time.Duration
+	PipelineWork    time.Duration
+	PipelineIdle    time.Duration
+	PipelineUpdates int
 }
 
 func (s *StageStats) add(dst *time.Duration, d time.Duration) {
@@ -35,15 +48,36 @@ func (s *StageStats) Snapshot() StageStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StageStats{
-		FactorCompute: s.FactorCompute,
-		FactorComm:    s.FactorComm,
-		EigCompute:    s.EigCompute,
-		EigComm:       s.EigComm,
-		Precondition:  s.Precondition,
-		FactorUpdates: s.FactorUpdates,
-		EigUpdates:    s.EigUpdates,
-		Steps:         s.Steps,
+		FactorCompute:   s.FactorCompute,
+		FactorComm:      s.FactorComm,
+		EigCompute:      s.EigCompute,
+		EigComm:         s.EigComm,
+		Precondition:    s.Precondition,
+		FactorUpdates:   s.FactorUpdates,
+		EigUpdates:      s.EigUpdates,
+		Steps:           s.Steps,
+		PipelineWall:    s.PipelineWall,
+		PipelineWork:    s.PipelineWork,
+		PipelineIdle:    s.PipelineIdle,
+		PipelineUpdates: s.PipelineUpdates,
 	}
+}
+
+// overlapOf computes the overlap metric from already-snapshotted values.
+func overlapOf(work, wall time.Duration) time.Duration {
+	if d := work - wall; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Overlap estimates the time the pipelined engine saved by overlapping
+// compute with communication and parallelizing across layers: total task
+// busy time minus the wall-clock the update phases actually took. Zero for
+// the synchronous engine (whose work and wall coincide by construction).
+func (s *StageStats) Overlap() time.Duration {
+	snap := s.Snapshot()
+	return overlapOf(snap.PipelineWork, snap.PipelineWall)
 }
 
 // PerFactorUpdate returns mean (compute, comm) time per factor update.
@@ -75,11 +109,21 @@ func (s *StageStats) String() string {
 	if snap.Steps > 0 {
 		perStep = snap.Precondition / time.Duration(snap.Steps)
 	}
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"kfac profile: factor Tcomp=%v Tcomm=%v (×%d) | eig Tcomp=%v Tcomm=%v (×%d) | precond/step=%v (×%d)",
 		fc.Round(time.Microsecond), fm.Round(time.Microsecond), snap.FactorUpdates,
 		ec.Round(time.Microsecond), em.Round(time.Microsecond), snap.EigUpdates,
 		perStep.Round(time.Microsecond), snap.Steps)
+	if snap.PipelineUpdates > 0 {
+		// Reuse the snapshot so the line is self-consistent even when
+		// sampled mid-step.
+		out += fmt.Sprintf(" | pipeline wall=%v work=%v idle=%v overlap=%v (×%d)",
+			snap.PipelineWall.Round(time.Microsecond), snap.PipelineWork.Round(time.Microsecond),
+			snap.PipelineIdle.Round(time.Microsecond),
+			overlapOf(snap.PipelineWork, snap.PipelineWall).Round(time.Microsecond),
+			snap.PipelineUpdates)
+	}
+	return out
 }
 
 // Stats returns the preconditioner's accumulated stage profile.

@@ -36,6 +36,12 @@ type Eigen struct {
 // SymEig computes the eigendecomposition of symmetric matrix a. The input is
 // not modified. Asymmetry up to round-off is tolerated: the routine operates
 // on (A+Aᵀ)/2.
+//
+// SymEig is reentrant: it touches no package state and works on private
+// copies, so concurrent calls on distinct (or even shared, unmutated)
+// inputs are safe. The pipelined K-FAC engine relies on this to
+// eigendecompose a rank's owned layers in parallel; see
+// TestConcurrentSymEigMatchesSerial.
 func SymEig(a *tensor.Tensor) (*Eigen, error) {
 	n := a.Rows()
 	if a.Cols() != n {

@@ -16,6 +16,11 @@ var ErrSingular = errors.New("linalg: matrix is singular")
 // elimination with partial pivoting. This is the explicit-inverse path the
 // paper ablates in Table I: cheaper per update than eigendecomposition but
 // less robust for ill-conditioned covariance factors.
+//
+// Inverse (and InverseDamped) are reentrant: the input is cloned before
+// elimination and no package state is shared, so concurrent calls are safe
+// — the property the pipelined K-FAC engine depends on when inverting a
+// rank's owned factors in parallel.
 func Inverse(a *tensor.Tensor) (*tensor.Tensor, error) {
 	n := a.Rows()
 	if a.Cols() != n {

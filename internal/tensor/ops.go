@@ -189,10 +189,3 @@ func (t *Tensor) Clamp(lo, hi float64) {
 		}
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -4,6 +4,11 @@
 // preconditioning (Listing 1 ordering: synchronize → precondition → step),
 // and a first-order optimizer update — plus distributed validation and the
 // learning-rate / damping / update-frequency schedules the experiments use.
+//
+// The K-FAC step may run either synchronously or through the pipelined
+// engine (kfac.Options.Engine); the trainer drives both identically because
+// Step fully drains its asynchronous collectives before returning, keeping
+// the global collective order deterministic across ranks.
 package trainer
 
 import (
@@ -127,7 +132,15 @@ func TrainRank(net *nn.Sequential, c *comm.Communicator, train, test *data.Datas
 	opt := optim.NewSGD(params, cfg.LR.At(0), cfg.Momentum, cfg.WeightDecay, false)
 	var prec *kfac.Preconditioner
 	if cfg.KFAC != nil {
+		// The K-FAC options (including the step engine) pass through as-is.
+		// Under kfac.EnginePipelined the preconditioner issues overlapping
+		// async collectives inside Step; that is safe here because every
+		// rank builds the identical model (so the per-layer schedule is
+		// deterministic and identical) and the trainer performs no other
+		// collective between Step's entry and return — the SPMD ordering
+		// contract of docs/ARCHITECTURE.md.
 		prec = kfac.New(net, c, *cfg.KFAC)
+		defer prec.Close()
 	}
 	ce := nn.CrossEntropy{Smoothing: cfg.LabelSmoothing}
 	sampler := data.ShardSampler{N: train.Len(), Rank: rank, World: world, Seed: cfg.Seed}
