@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -39,7 +40,7 @@ func benchExperiment(b *testing.B, id string) {
 	cfg := experiments.Config{Quick: true, Seed: 42}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, cfg); err != nil {
+		if err := e.Run(context.Background(), io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,7 +181,7 @@ func BenchmarkKFACStep(b *testing.B) {
 		b.Run(mode.String(), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(6))
 			net := models.BuildCIFARResNet(1, 8, 3, 10, rng)
-			prec := kfac.New(net, nil, kfac.Options{
+			prec := kfac.NewFromOptions(net, nil, kfac.Options{
 				Mode: mode, FactorUpdateFreq: 1, InvUpdateFreq: 1, Damping: 1e-3,
 			})
 			x := tensor.Randn(rng, 1, 8, 3, 16, 16)
@@ -212,7 +213,7 @@ func BenchmarkKFACStepEngines(b *testing.B) {
 		b.Run(engine.String(), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(6))
 			net := models.BuildCIFARResNet(2, 16, 3, 10, rng)
-			prec := kfac.New(net, nil, kfac.Options{
+			prec := kfac.NewFromOptions(net, nil, kfac.Options{
 				FactorUpdateFreq: 1, InvUpdateFreq: 1, Damping: 1e-3, Engine: engine,
 			})
 			defer prec.Close()
@@ -242,7 +243,7 @@ func TestPipelinedEngineMatchesSyncSameSeed(t *testing.T) {
 	run := func(engine kfac.Engine) []*tensor.Tensor {
 		rng := rand.New(rand.NewSource(6))
 		net := models.BuildCIFARResNet(1, 8, 3, 10, rng)
-		prec := kfac.New(net, nil, kfac.Options{
+		prec := kfac.NewFromOptions(net, nil, kfac.Options{
 			FactorUpdateFreq: 1, InvUpdateFreq: 2, Damping: 1e-3, Engine: engine,
 		})
 		defer prec.Close()
@@ -282,7 +283,7 @@ func BenchmarkKFACStepStale(b *testing.B) {
 	// local preconditioning, no factor or eigendecomposition work.
 	rng := rand.New(rand.NewSource(7))
 	net := models.BuildCIFARResNet(1, 8, 3, 10, rng)
-	prec := kfac.New(net, nil, kfac.Options{
+	prec := kfac.NewFromOptions(net, nil, kfac.Options{
 		FactorUpdateFreq: 1 << 30, InvUpdateFreq: 1 << 30, Damping: 1e-3,
 	})
 	x := tensor.Randn(rng, 1, 8, 3, 16, 16)
@@ -314,7 +315,7 @@ func BenchmarkDistributedKFACIteration(b *testing.B) {
 	for r := 0; r < p; r++ {
 		nets[r] = models.BuildCIFARResNet(1, 4, 3, 10, rand.New(rand.NewSource(8)))
 		comms[r] = comm.NewCommunicator(fab.Endpoint(r))
-		precs[r] = kfac.New(nets[r], comms[r], kfac.Options{
+		precs[r] = kfac.NewFromOptions(nets[r], comms[r], kfac.Options{
 			FactorUpdateFreq: 10, InvUpdateFreq: 100, Damping: 1e-3,
 		})
 	}

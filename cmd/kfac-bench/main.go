@@ -10,13 +10,19 @@
 //
 // Each experiment prints its table/series to stdout together with the
 // paper's reported values for comparison; see EXPERIMENTS.md for the
-// recorded paper-vs-measured summary.
+// recorded paper-vs-measured summary. Interrupting the process (SIGINT/
+// SIGTERM) cancels the in-progress training runs cleanly through the
+// trainer's context plumbing.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -32,6 +38,8 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 
 	switch {
@@ -42,9 +50,8 @@ func main() {
 	case *all:
 		for _, e := range experiments.All() {
 			start := time.Now()
-			if err := e.Run(os.Stdout, cfg); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-				os.Exit(1)
+			if err := e.Run(ctx, os.Stdout, cfg); err != nil {
+				fail(e.ID, err)
 			}
 			fmt.Printf("   [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
@@ -54,12 +61,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
 			os.Exit(2)
 		}
-		if err := e.Run(os.Stdout, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+		if err := e.Run(ctx, os.Stdout, cfg); err != nil {
+			fail(e.ID, err)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// fail reports an experiment error, distinguishing operator interruption
+// from real failures.
+func fail(id string, err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", id)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+	os.Exit(1)
 }

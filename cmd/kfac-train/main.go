@@ -1,19 +1,30 @@
 // Command kfac-train trains a model on the synthetic CIFAR stand-in with
 // SGD or distributed K-FAC, printing per-epoch progress — the Go analogue
-// of the paper's training scripts (Listing 1).
+// of the paper's training scripts (Listing 1), built on the trainer's
+// Session API.
 //
 // Examples:
 //
 //	kfac-train -optimizer kfac -world 4 -epochs 8
+//	kfac-train -optimizer kfac -engine pipelined -world 4
 //	kfac-train -optimizer sgd -epochs 12 -batch 64
 //	kfac-train -optimizer kfac -strategy layerwise -inv-freq 20
+//
+// Interrupting the run (SIGINT/SIGTERM) cancels it cleanly: every rank
+// stops at the same iteration boundary and the partial results are
+// reported.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/kfac"
@@ -28,6 +39,7 @@ func main() {
 		optimizer = flag.String("optimizer", "kfac", "sgd or kfac")
 		strategy  = flag.String("strategy", "roundrobin", "kfac distribution: roundrobin, layerwise, greedy")
 		mode      = flag.String("mode", "eigen", "kfac inversion: eigen or inverse")
+		engine    = flag.String("engine", "sync", "kfac step engine: sync or pipelined")
 		world     = flag.Int("world", 1, "number of simulated workers (in-process ranks)")
 		epochs    = flag.Int("epochs", 8, "training epochs")
 		batch     = flag.Int("batch", 32, "mini-batch size per rank")
@@ -41,64 +53,105 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfgData := data.CIFARLike(*seed)
 	train, test := data.GenerateSynthetic(cfgData)
 	fmt.Printf("dataset: %d train / %d test, %d classes, %dx%dx%d images\n",
 		train.Len(), test.Len(), train.Classes, cfgData.Channels, cfgData.Size, cfgData.Size)
 
-	tc := trainer.Config{
-		Epochs:       *epochs,
-		BatchPerRank: *batch,
-		LR: optim.LRSchedule{
+	opts := []trainer.SessionOption{
+		trainer.WithEpochs(*epochs),
+		trainer.WithBatchPerRank(*batch),
+		trainer.WithLRSchedule(optim.LRSchedule{
 			BaseLR: *lr * float64(*world), WarmupEpochs: 1,
 			Milestones: []int{*epochs * 2 / 3, *epochs * 5 / 6}, Factor: 0.1,
-		},
-		Momentum: 0.9,
-		Seed:     *seed,
-		Log:      os.Stdout,
+		}),
+		trainer.WithMomentum(0.9),
+		trainer.WithSeed(*seed),
+		trainer.WithLogger(os.Stdout),
 	}
 	if *optimizer == "kfac" {
-		opts := &kfac.Options{
-			Damping:          *damping,
-			InvUpdateFreq:    *invFreq,
-			FactorUpdateFreq: *facFreq,
+		kopts := []kfac.Option{
+			kfac.WithDamping(*damping),
+			kfac.WithInvUpdateFreq(*invFreq),
+			kfac.WithFactorUpdateFreq(*facFreq),
 		}
 		switch *strategy {
 		case "layerwise":
-			opts.Strategy = kfac.LayerWise
+			kopts = append(kopts, kfac.WithStrategy(kfac.LayerWise))
 		case "greedy":
-			opts.Strategy = kfac.SizeGreedy
+			kopts = append(kopts, kfac.WithStrategy(kfac.SizeGreedy))
 		default:
-			opts.Strategy = kfac.RoundRobin
+			kopts = append(kopts, kfac.WithStrategy(kfac.RoundRobin))
 		}
 		if *mode == "inverse" {
-			opts.Mode = kfac.InverseMode
+			kopts = append(kopts, kfac.WithMode(kfac.InverseMode))
 		}
-		tc.KFAC = opts
+		switch *engine {
+		case "pipelined":
+			kopts = append(kopts, kfac.WithEngine(kfac.EnginePipelined))
+		case "sync":
+			// default engine
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -engine %q (want sync or pipelined)\n", *engine)
+			os.Exit(2)
+		}
+		opts = append(opts, trainer.WithKFAC(kopts...))
 	}
 
 	build := func(rng *rand.Rand) *nn.Sequential {
 		return models.BuildCIFARResNet(*blocks, *width, 3, 10, rng)
 	}
-	fmt.Printf("model: cifar-resnet-%d width %d (%d params), optimizer %s, world %d\n",
+	fmt.Printf("model: cifar-resnet-%d width %d (%d params), optimizer %s (%s engine), world %d\n",
 		6**blocks+2, *width, nn.ParamCount(build(rand.New(rand.NewSource(*seed)))),
-		*optimizer, *world)
+		*optimizer, *engine, *world)
 
 	var res *trainer.Result
 	var err error
 	if *world == 1 {
-		res, err = trainer.TrainRank(build(rand.New(rand.NewSource(*seed))), nil, train, test, tc)
+		var s *trainer.Session
+		s, err = trainer.NewSession(build(rand.New(rand.NewSource(*seed))), nil, train, test, opts...)
+		if err == nil {
+			res, err = s.Run(ctx)
+		}
 	} else {
 		var all []*trainer.Result
-		all, err = trainer.RunDistributed(*world, build, train, test, tc)
-		if err == nil {
-			res = all[0]
+		all, err = trainer.RunSessions(ctx, *world, build, train, test, opts...)
+		if len(all) > 0 {
+			res = all[0] // rank 0's result; partial under cancellation
 		}
 	}
-	if err != nil {
+	if errors.Is(err, context.Canceled) {
+		fmt.Println("interrupted: run cancelled cleanly at an iteration boundary")
+		if res == nil {
+			os.Exit(130)
+		}
+	} else if err != nil {
 		fmt.Fprintln(os.Stderr, "training failed:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("done: best val %.2f%%, final val %.2f%%, %d iterations\n",
 		res.BestValAcc*100, res.FinalValAcc*100, res.Iterations)
+	printKFACProfile(res)
+}
+
+// printKFACProfile reports the preconditioner's measured stage profile and,
+// for the pipelined engine, its comm/compute overlap — the run's Table V
+// analogue.
+func printKFACProfile(res *trainer.Result) {
+	if res == nil || res.KFACStats == nil {
+		return
+	}
+	snap := res.KFACStats.Snapshot()
+	const r = 10 * time.Microsecond
+	fmt.Printf("kfac stages: factor comp %v / comm %v, eig comp %v / comm %v, precondition %v\n",
+		snap.FactorCompute.Round(r), snap.FactorComm.Round(r),
+		snap.EigCompute.Round(r), snap.EigComm.Round(r), snap.Precondition.Round(r))
+	if snap.PipelineUpdates > 0 {
+		fmt.Printf("pipelined engine: update wall %v, overlapped %v, issuer idle %v over %d updates\n",
+			snap.PipelineWall.Round(r), res.KFACStats.Overlap().Round(r),
+			snap.PipelineIdle.Round(r), snap.PipelineUpdates)
+	}
 }

@@ -1,10 +1,13 @@
-// Checkpointing: trains with K-FAC for a few epochs, saves a checkpoint,
-// "crashes", restores into a fresh model, and verifies the restored model
-// reproduces the saved validation accuracy before continuing training —
-// the operational workflow long ImageNet-scale runs need.
+// Checkpointing: trains with K-FAC for a few epochs while an OnCheckpoint
+// hook snapshots the model, "crashes", restores into a fresh model, and
+// verifies the restored model reproduces the saved validation accuracy
+// before continuing training — the operational workflow long
+// ImageNet-scale runs need, expressed through the Session hook registry
+// instead of a hand-rolled save step.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,25 +31,36 @@ func main() {
 	build := func(seed int64) *nn.Sequential {
 		return models.BuildCIFARResNet(1, 4, 3, 10, rand.New(rand.NewSource(seed)))
 	}
-	tc := trainer.Config{
-		Epochs:       3,
-		BatchPerRank: 32,
-		LR:           optim.LRSchedule{BaseLR: 0.05, WarmupEpochs: 1},
-		Momentum:     0.9,
-		KFAC:         &kfac.Options{FactorUpdateFreq: 1, InvUpdateFreq: 5},
-		Seed:         11,
-		Log:          os.Stdout,
+	path := filepath.Join(os.TempDir(), "kfac-demo.ckpt")
+	baseOpts := func(epochs int) []trainer.SessionOption {
+		return []trainer.SessionOption{
+			trainer.WithEpochs(epochs),
+			trainer.WithBatchPerRank(32),
+			trainer.WithLRSchedule(optim.LRSchedule{BaseLR: 0.05, WarmupEpochs: 1}),
+			trainer.WithMomentum(0.9),
+			trainer.WithKFAC(kfac.WithFactorUpdateFreq(1), kfac.WithInvUpdateFreq(5)),
+			trainer.WithSeed(11),
+			trainer.WithLogger(os.Stdout),
+		}
 	}
 
-	fmt.Println("=== phase 1: train 3 epochs, then checkpoint ===")
+	fmt.Println("=== phase 1: train 3 epochs, checkpointing at every epoch ===")
 	net := build(1)
-	res, err := trainer.TrainRank(net, nil, train, test, tc)
+	s, err := trainer.NewSession(net, nil, train, test, append(baseOpts(3),
+		trainer.WithCheckpointEvery(1),
+		trainer.OnCheckpoint(func(s *trainer.Session, info trainer.CheckpointInfo) error {
+			ck := checkpoint.Snapshot(s.Net(), info.Epoch+1, info.Iterations)
+			if err := ck.Save(path); err != nil {
+				return fmt.Errorf("checkpoint at epoch %d: %w", info.Epoch, err)
+			}
+			fmt.Printf("  [checkpoint] epoch %d, step %d → %s\n", info.Epoch, info.Iterations, path)
+			return nil
+		}))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	path := filepath.Join(os.TempDir(), "kfac-demo.ckpt")
-	ck := checkpoint.Snapshot(net, tc.Epochs, res.Iterations)
-	if err := ck.Save(path); err != nil {
+	res, err := s.Run(context.Background())
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("saved %s at val acc %.2f%%\n\n", path, res.FinalValAcc*100)
@@ -60,7 +74,7 @@ func main() {
 	if err := loaded.Restore(restored); err != nil {
 		log.Fatal(err)
 	}
-	acc, err := trainer.Evaluate(restored, nil, test, 32, tc.Seed)
+	acc, err := trainer.Evaluate(restored, nil, test, 32, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,8 +85,11 @@ func main() {
 	}
 
 	fmt.Println("=== phase 3: continue training from the checkpoint ===")
-	tc.Epochs = 2
-	res2, err := trainer.TrainRank(restored, nil, train, test, tc)
+	s2, err := trainer.NewSession(restored, nil, train, test, baseOpts(2)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := s2.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

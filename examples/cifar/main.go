@@ -2,10 +2,12 @@
 // and with distributed K-FAC (4 in-process workers, round-robin factor
 // placement) on the synthetic CIFAR stand-in, reproducing the qualitative
 // content of the paper's Figure 4 / Table II: K-FAC matches SGD's accuracy
-// in fewer epochs.
+// in fewer epochs. Both runs go through RunSessions, the Session-API
+// multi-rank runner.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -26,42 +28,41 @@ func main() {
 		sgdEpochs  = 8
 		kfacEpochs = 5
 	)
+	ctx := context.Background()
 	cfg := data.CIFARLike(7)
 	cfg.Train, cfg.Test = 1024, 512
 	train, test := data.GenerateSynthetic(cfg)
 	build := func(rng *rand.Rand) *nn.Sequential {
 		return models.BuildCIFARResNet(1, 8, 3, 10, rng)
 	}
-
-	base := trainer.Config{
-		BatchPerRank: batch,
-		Momentum:     0.9,
-		Seed:         7,
-		Log:          os.Stdout,
+	schedule := func(epochs int) optim.LRSchedule {
+		return optim.LRSchedule{BaseLR: 0.05 * world, WarmupEpochs: 1,
+			Milestones: []int{epochs * 2 / 3}, Factor: 0.1}
+	}
+	base := func(epochs int) []trainer.SessionOption {
+		return []trainer.SessionOption{
+			trainer.WithEpochs(epochs),
+			trainer.WithBatchPerRank(batch),
+			trainer.WithLRSchedule(schedule(epochs)),
+			trainer.WithMomentum(0.9),
+			trainer.WithSeed(7),
+			trainer.WithLogger(os.Stdout),
+		}
 	}
 
 	fmt.Printf("=== SGD, %d workers, %d epochs ===\n", world, sgdEpochs)
-	sgdCfg := base
-	sgdCfg.Epochs = sgdEpochs
-	sgdCfg.LR = optim.LRSchedule{BaseLR: 0.05 * world, WarmupEpochs: 1,
-		Milestones: []int{sgdEpochs * 2 / 3}, Factor: 0.1}
-	sgdRes, err := trainer.RunDistributed(world, build, train, test, sgdCfg)
+	sgdRes, err := trainer.RunSessions(ctx, world, build, train, test, base(sgdEpochs)...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("\n=== K-FAC (round-robin factors), %d workers, %d epochs ===\n", world, kfacEpochs)
-	kfCfg := base
-	kfCfg.Epochs = kfacEpochs
-	kfCfg.LR = optim.LRSchedule{BaseLR: 0.05 * world, WarmupEpochs: 1,
-		Milestones: []int{kfacEpochs * 2 / 3}, Factor: 0.1}
-	kfCfg.KFAC = &kfac.Options{
-		Strategy:         kfac.RoundRobin,
-		Damping:          1e-3,
-		FactorUpdateFreq: 1,
-		InvUpdateFreq:    10,
-	}
-	kfRes, err := trainer.RunDistributed(world, build, train, test, kfCfg)
+	kfRes, err := trainer.RunSessions(ctx, world, build, train, test, append(base(kfacEpochs),
+		trainer.WithKFAC(
+			kfac.WithStrategy(kfac.RoundRobin),
+			kfac.WithDamping(1e-3),
+			kfac.WithFactorUpdateFreq(1),
+			kfac.WithInvUpdateFreq(10)))...)
 	if err != nil {
 		log.Fatal(err)
 	}

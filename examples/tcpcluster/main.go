@@ -12,9 +12,17 @@
 //	tcpcluster -rank 0 -addrs host0:7000,host1:7000,host2:7000
 //	tcpcluster -rank 1 -addrs host0:7000,host1:7000,host2:7000
 //	tcpcluster -rank 2 -addrs host0:7000,host1:7000,host2:7000
+//
+// Every rank runs a Session under a SIGINT/SIGTERM-cancelled context: an
+// interrupt on ANY rank propagates through the cancellation-consensus
+// collective, so all ranks stop together at the same iteration boundary
+// even though their local signals arrive at different times (or not at
+// all).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,7 +30,9 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/comm"
@@ -82,8 +92,12 @@ func spawnLocalWorld(world int) {
 	fmt.Println("all ranks finished")
 }
 
-// runRank joins the TCP world and trains with distributed K-FAC.
+// runRank joins the TCP world and trains with distributed K-FAC under a
+// signal-cancelled context.
 func runRank(rank int, addrs []string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fab, err := comm.NewTCPFabric(rank, addrs, 10*time.Second)
 	if err != nil {
 		log.Fatalf("rank %d: %v", rank, err)
@@ -96,23 +110,37 @@ func runRank(rank int, addrs []string) {
 	train, test := data.GenerateSynthetic(cfg)
 
 	net := models.BuildCIFARResNet(1, 4, 3, 10, rand.New(rand.NewSource(99)))
-	tc := trainer.Config{
-		Epochs:       3,
-		BatchPerRank: 16,
-		LR: optim.LRSchedule{BaseLR: 0.05 * float64(len(addrs)), WarmupEpochs: 1,
-			Milestones: []int{2}, Factor: 0.1},
-		Momentum: 0.9,
-		KFAC: &kfac.Options{
-			Strategy: kfac.RoundRobin, Damping: 1e-3,
-			FactorUpdateFreq: 1, InvUpdateFreq: 5,
-		},
-		Seed: 3,
+	opts := []trainer.SessionOption{
+		trainer.WithEpochs(3),
+		trainer.WithBatchPerRank(16),
+		trainer.WithLRSchedule(optim.LRSchedule{
+			BaseLR: 0.05 * float64(len(addrs)), WarmupEpochs: 1,
+			Milestones: []int{2}, Factor: 0.1,
+		}),
+		trainer.WithMomentum(0.9),
+		trainer.WithKFAC(
+			kfac.WithStrategy(kfac.RoundRobin),
+			kfac.WithDamping(1e-3),
+			kfac.WithFactorUpdateFreq(1),
+			kfac.WithInvUpdateFreq(5)),
+		trainer.WithSeed(3),
 	}
 	if rank == 0 {
-		tc.Log = os.Stdout
+		opts = append(opts, trainer.WithLogger(os.Stdout))
 		fmt.Printf("rank 0: %d-rank TCP world connected, training...\n", len(addrs))
 	}
-	res, err := trainer.TrainRank(net, c, train, test, tc)
+	s, err := trainer.NewSession(net, c, train, test, opts...)
+	if err != nil {
+		log.Fatalf("rank %d: %v", rank, err)
+	}
+	res, err := s.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		if rank == 0 {
+			fmt.Printf("rank 0: interrupted after %d iterations; all ranks stopped at the same boundary\n",
+				res.Iterations)
+		}
+		return
+	}
 	if err != nil {
 		log.Fatalf("rank %d training: %v", rank, err)
 	}

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 )
@@ -11,17 +12,47 @@ import (
 // payloads from different collectives can interleave on the transport
 // without confusion.
 //
+// A communicator carries a bound context (context.Background by default;
+// see WithContext) consulted by every blocking receive. Cancelling it is a
+// HARD abort: in-flight collectives return the context error mid-protocol,
+// which desynchronizes the SPMD collective schedule across ranks — after an
+// abort the communicator must not be reused for further collectives. For
+// cooperative, schedule-preserving cancellation (every rank stops at the
+// same point) callers should instead reach consensus through a dedicated
+// collective, as trainer.Session.Run does; see docs/ARCHITECTURE.md.
+//
 // This file holds the synchronous collectives (allreduce, broadcast,
 // allgather, barrier, reduce, reduce-scatter, gather, scatter) and the
 // shared ring-phase helpers; the asynchronous handle-based variants live in
 // async.go.
 type Communicator struct {
 	t   Transport
-	seq atomic.Uint64
+	seq *atomic.Uint64
+	ctx context.Context
 }
 
 // NewCommunicator wraps a transport endpoint.
-func NewCommunicator(t Transport) *Communicator { return &Communicator{t: t} }
+func NewCommunicator(t Transport) *Communicator {
+	return &Communicator{t: t, seq: new(atomic.Uint64), ctx: context.Background()}
+}
+
+// WithContext returns a communicator sharing this one's transport and tag
+// sequence whose blocking operations additionally abort when ctx is
+// cancelled. The parent and the derived communicator may be used
+// interchangeably (the collective schedule is common to both); cancellation
+// semantics are the hard-abort contract documented on Communicator.
+func (c *Communicator) WithContext(ctx context.Context) *Communicator {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cp := *c
+	cp.ctx = ctx
+	return &cp
+}
+
+// Context returns the context bound by WithContext (context.Background for
+// a communicator that never had one bound).
+func (c *Communicator) Context() context.Context { return c.ctx }
 
 // Rank returns this communicator's rank.
 func (c *Communicator) Rank() int { return c.t.Rank() }
@@ -31,6 +62,11 @@ func (c *Communicator) Size() int { return c.t.Size() }
 
 // Close closes the underlying transport.
 func (c *Communicator) Close() error { return c.t.Close() }
+
+// recv is the context-bound receive every collective goes through.
+func (c *Communicator) recv(from int, tag uint64) ([]float64, error) {
+	return c.t.Recv(c.ctx, from, tag)
+}
 
 // nextOp reserves a tag namespace for one collective invocation.
 func (c *Communicator) nextOp() uint64 { return c.seq.Add(1) << 16 }
@@ -94,7 +130,7 @@ func (c *Communicator) ringReduceScatter(data []float64, counts, displs []int, r
 		sendIdx := mod(rg.index-s, rg.size)
 		recvIdx := mod(rg.index-s-1, rg.size)
 		errCh := c.sendAsync(rg.next, opTag(base, stepOff+s), chunkOf(data, counts, displs, sendIdx))
-		in, err := c.t.Recv(rg.prev, opTag(base, stepOff+s))
+		in, err := c.recv(rg.prev, opTag(base, stepOff+s))
 		if err != nil {
 			return err
 		}
@@ -120,7 +156,7 @@ func (c *Communicator) ringAllgatherChunks(data []float64, counts, displs []int,
 		sendIdx := mod(rg.index+1-s, rg.size)
 		recvIdx := mod(rg.index-s, rg.size)
 		errCh := c.sendAsync(rg.next, opTag(base, stepOff+s), chunkOf(data, counts, displs, sendIdx))
-		in, err := c.t.Recv(rg.prev, opTag(base, stepOff+s))
+		in, err := c.recv(rg.prev, opTag(base, stepOff+s))
 		if err != nil {
 			return err
 		}
@@ -188,7 +224,7 @@ func (c *Communicator) Broadcast(data []float64, root int) error {
 				}
 			}
 		} else if rel < 2*offset {
-			in, err := c.t.Recv(mod(rel-offset+root, p), opTag(base, offset))
+			in, err := c.recv(mod(rel-offset+root, p), opTag(base, offset))
 			if err != nil {
 				return err
 			}
@@ -225,7 +261,7 @@ func (c *Communicator) allgatherVTagged(mine []float64, base uint64) ([][]float6
 	for s := 0; s < p-1; s++ {
 		sendIdx := mod(r-s, p)
 		errCh := c.sendAsync(next, opTag(base, s), out[sendIdx])
-		in, err := c.t.Recv(prev, opTag(base, s))
+		in, err := c.recv(prev, opTag(base, s))
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +307,7 @@ func (c *Communicator) Reduce(data []float64, root int) error {
 			return c.t.Send(mod(peer+root, p), opTag(base, offset), acc)
 		}
 		if rel%(2*offset) == 0 && rel+offset < p {
-			in, err := c.t.Recv(mod(rel+offset+root, p), opTag(base, offset))
+			in, err := c.recv(mod(rel+offset+root, p), opTag(base, offset))
 			if err != nil {
 				return err
 			}
@@ -333,7 +369,7 @@ func (c *Communicator) Gather(mine []float64, root int) ([][]float64, error) {
 		if r == root {
 			continue
 		}
-		in, err := c.t.Recv(r, opTag(base, r))
+		in, err := c.recv(r, opTag(base, r))
 		if err != nil {
 			return nil, err
 		}
@@ -363,5 +399,5 @@ func (c *Communicator) Scatter(chunks [][]float64, root int) ([]float64, error) 
 		copy(out, chunks[root])
 		return out, nil
 	}
-	return c.t.Recv(root, opTag(base, c.Rank()))
+	return c.recv(root, opTag(base, c.Rank()))
 }

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -318,7 +319,7 @@ func TestInprocSendToInvalidRank(t *testing.T) {
 	if err := e.Send(5, 1, []float64{1}); err == nil {
 		t.Error("expected error sending to invalid rank")
 	}
-	if _, err := e.Recv(-1, 1); err == nil {
+	if _, err := e.Recv(context.Background(), -1, 1); err == nil {
 		t.Error("expected error receiving from invalid rank")
 	}
 }
@@ -331,7 +332,7 @@ func TestInprocSendCopiesData(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf[0] = 99 // sender reuses its buffer
-	got, err := b.Recv(0, 7)
+	got, err := b.Recv(context.Background(), 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,11 +351,11 @@ func TestMailboxOutOfOrderTags(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Receive in reverse tag order.
-	got, err := b.Recv(0, 200)
+	got, err := b.Recv(context.Background(), 0, 200)
 	if err != nil || got[0] != 200 {
 		t.Fatalf("tag 200: %v %v", got, err)
 	}
-	got, err = b.Recv(0, 100)
+	got, err = b.Recv(context.Background(), 0, 100)
 	if err != nil || got[0] != 100 {
 		t.Fatalf("tag 100: %v %v", got, err)
 	}

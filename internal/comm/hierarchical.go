@@ -38,7 +38,7 @@ func (c *Communicator) HierarchicalAllreduceMean(data []float64, groupSize int) 
 			end = p
 		}
 		for m := leader + 1; m < end; m++ {
-			in, err := c.t.Recv(m, opTag(base, 1))
+			in, err := c.recv(m, opTag(base, 1))
 			if err != nil {
 				return err
 			}
@@ -87,7 +87,7 @@ func (c *Communicator) HierarchicalAllreduceMean(data []float64, groupSize int) 
 		}
 		return nil
 	}
-	in, err := c.t.Recv(leader, opTag(base, 4))
+	in, err := c.recv(leader, opTag(base, 4))
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -178,11 +179,11 @@ func (f *TCPFabric) Send(to int, tag uint64, data []float64) error {
 }
 
 // Recv implements Transport.
-func (f *TCPFabric) Recv(from int, tag uint64) ([]float64, error) {
+func (f *TCPFabric) Recv(ctx context.Context, from int, tag uint64) ([]float64, error) {
 	if from < 0 || from >= f.size {
 		return nil, fmt.Errorf("comm: recv from invalid rank %d", from)
 	}
-	return f.boxes[from].take(tag)
+	return f.boxes[from].take(ctx, tag)
 }
 
 // Close implements Transport.

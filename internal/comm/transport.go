@@ -18,6 +18,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -34,8 +35,10 @@ type Transport interface {
 	// no reference to data after return (implementations copy as needed).
 	Send(to int, tag uint64, data []float64) error
 	// Recv blocks until a message from rank `from` with the given tag
-	// arrives and returns its payload.
-	Recv(from int, tag uint64) ([]float64, error)
+	// arrives and returns its payload, or until ctx is cancelled, in which
+	// case it returns ctx's error. Cancellation is a hard abort: the
+	// message, if it arrives later, stays queued for a subsequent Recv.
+	Recv(ctx context.Context, from int, tag uint64) ([]float64, error)
 	// Close releases transport resources.
 	Close() error
 }
@@ -68,8 +71,21 @@ func (m *mailbox) put(tag uint64, data []float64) {
 	m.cond.Broadcast()
 }
 
-// take blocks until a message with the tag is available.
-func (m *mailbox) take(tag uint64) ([]float64, error) {
+// take blocks until a message with the tag is available, the mailbox is
+// closed, or ctx is cancelled.
+func (m *mailbox) take(ctx context.Context, tag uint64) ([]float64, error) {
+	if ctx.Done() != nil {
+		// Wake the condition variable when the context fires. The empty
+		// critical section orders the broadcast after any waiter that saw
+		// ctx.Err() == nil has entered Wait (releasing the lock), so no
+		// wakeup can be missed.
+		stop := context.AfterFunc(ctx, func() {
+			m.mu.Lock()
+			m.mu.Unlock() //nolint:staticcheck // empty section intentional, see above
+			m.cond.Broadcast()
+		})
+		defer stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -84,6 +100,9 @@ func (m *mailbox) take(tag uint64) ([]float64, error) {
 		}
 		if m.closed {
 			return nil, fmt.Errorf("comm: mailbox closed while waiting for tag %d", tag)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		m.cond.Wait()
 	}
@@ -139,11 +158,11 @@ func (e *inprocEndpoint) Send(to int, tag uint64, data []float64) error {
 	return nil
 }
 
-func (e *inprocEndpoint) Recv(from int, tag uint64) ([]float64, error) {
+func (e *inprocEndpoint) Recv(ctx context.Context, from int, tag uint64) ([]float64, error) {
 	if from < 0 || from >= e.fabric.n {
 		return nil, fmt.Errorf("comm: recv from invalid rank %d", from)
 	}
-	return e.fabric.boxes[e.rank][from].take(tag)
+	return e.fabric.boxes[e.rank][from].take(ctx, tag)
 }
 
 func (e *inprocEndpoint) Close() error {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -49,22 +50,34 @@ func correctnessEpochs(cfg Config) (int, int) {
 	return 10, 6
 }
 
-// trainOnce runs one configuration single-process and returns the result.
-func trainOnce(cfg Config, train, test *data.Dataset, batch, epochs int,
-	kopts *kfac.Options, lr float64) (*trainer.Result, error) {
-	net := correctnessNet(cfg)(rand.New(rand.NewSource(cfg.Seed + 7)))
-	tc := trainer.Config{
-		Epochs:       epochs,
-		BatchPerRank: batch,
-		LR: optim.LRSchedule{
+// correctnessOpts is the shared session configuration of the trained
+// experiments: the paper's warmup + two-milestone decay recipe.
+func correctnessOpts(cfg Config, batch, epochs int, lr float64) []trainer.SessionOption {
+	return []trainer.SessionOption{
+		trainer.WithEpochs(epochs),
+		trainer.WithBatchPerRank(batch),
+		trainer.WithLRSchedule(optim.LRSchedule{
 			BaseLR: lr, WarmupEpochs: 1,
 			Milestones: []int{epochs * 2 / 3, epochs * 5 / 6}, Factor: 0.1,
-		},
-		Momentum: 0.9,
-		KFAC:     kopts,
-		Seed:     cfg.Seed,
+		}),
+		trainer.WithMomentum(0.9),
+		trainer.WithSeed(cfg.Seed),
 	}
-	return trainer.TrainRank(net, nil, train, test, tc)
+}
+
+// trainOnce runs one configuration single-process and returns the result.
+func trainOnce(ctx context.Context, cfg Config, train, test *data.Dataset, batch, epochs int,
+	kopts *kfac.Options, lr float64) (*trainer.Result, error) {
+	net := correctnessNet(cfg)(rand.New(rand.NewSource(cfg.Seed + 7)))
+	opts := correctnessOpts(cfg, batch, epochs, lr)
+	if kopts != nil {
+		opts = append(opts, trainer.WithKFACOptions(*kopts))
+	}
+	s, err := trainer.NewSession(net, nil, train, test, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx)
 }
 
 func init() {
@@ -100,7 +113,7 @@ func init() {
 	})
 }
 
-func runTable1(w io.Writer, cfg Config) error {
+func runTable1(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("table1")
 	header(w, e)
 	train, test := correctnessData(cfg)
@@ -127,7 +140,7 @@ func runTable1(w io.Writer, cfg Config) error {
 		for _, b := range batches {
 			// Paper scales lr with batch size (N×0.1 for N GPUs of 128).
 			lr := 0.05 * float64(b) / 32
-			res, err := trainOnce(cfg, train, test, b, kfacEpochs, row.opts, lr)
+			res, err := trainOnce(ctx, cfg, train, test, b, kfacEpochs, row.opts, lr)
 			if err != nil {
 				return err
 			}
@@ -139,7 +152,7 @@ func runTable1(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runTable2(w io.Writer, cfg Config) error {
+func runTable2(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("table2")
 	header(w, e)
 	train, test := correctnessData(cfg)
@@ -152,16 +165,11 @@ func runTable2(w io.Writer, cfg Config) error {
 	for _, world := range worlds {
 		lr := 0.05 * float64(world)
 		run := func(kopts *kfac.Options, epochs int) (float64, error) {
-			tc := trainer.Config{
-				Epochs:       epochs,
-				BatchPerRank: 32,
-				LR: optim.LRSchedule{BaseLR: lr, WarmupEpochs: 1,
-					Milestones: []int{epochs * 2 / 3, epochs * 5 / 6}, Factor: 0.1},
-				Momentum: 0.9,
-				KFAC:     kopts,
-				Seed:     cfg.Seed,
+			opts := correctnessOpts(cfg, 32, epochs, lr)
+			if kopts != nil {
+				opts = append(opts, trainer.WithKFACOptions(*kopts))
 			}
-			results, err := trainer.RunDistributed(world, correctnessNet(cfg), train, test, tc)
+			results, err := trainer.RunSessions(ctx, world, correctnessNet(cfg), train, test, opts...)
 			if err != nil {
 				return 0, err
 			}
@@ -181,16 +189,16 @@ func runTable2(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runFig4(w io.Writer, cfg Config) error {
+func runFig4(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("fig4")
 	header(w, e)
 	train, test := correctnessData(cfg)
 	sgdEpochs, kfacEpochs := correctnessEpochs(cfg)
-	sgdRes, err := trainOnce(cfg, train, test, 32, sgdEpochs, nil, 0.05)
+	sgdRes, err := trainOnce(ctx, cfg, train, test, 32, sgdEpochs, nil, 0.05)
 	if err != nil {
 		return err
 	}
-	kfacRes, err := trainOnce(cfg, train, test, 32, kfacEpochs,
+	kfacRes, err := trainOnce(ctx, cfg, train, test, 32, kfacEpochs,
 		&kfac.Options{FactorUpdateFreq: 1, InvUpdateFreq: 10, Damping: 1e-3}, 0.05)
 	if err != nil {
 		return err
@@ -210,7 +218,7 @@ func runFig4(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runAblationClip(w io.Writer, cfg Config) error {
+func runAblationClip(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("ablation-clip")
 	header(w, e)
 	train, test := correctnessData(cfg)
@@ -222,7 +230,7 @@ func runAblationClip(w io.Writer, cfg Config) error {
 		{"kl-clip on (κ=1e-3)", 1e-3},
 		{"kl-clip off", -1},
 	} {
-		res, err := trainOnce(cfg, train, test, 32, epochs,
+		res, err := trainOnce(ctx, cfg, train, test, 32, epochs,
 			&kfac.Options{FactorUpdateFreq: 1, InvUpdateFreq: 10, Damping: 1e-3, KLClip: row.clip}, 0.05)
 		if err != nil {
 			return err
@@ -233,7 +241,7 @@ func runAblationClip(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runAblationDamping(w io.Writer, cfg Config) error {
+func runAblationDamping(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("ablation-damping")
 	header(w, e)
 	train, test := correctnessData(cfg)
@@ -248,12 +256,19 @@ func runAblationDamping(w io.Writer, cfg Config) error {
 			Initial: 3e-3, DecayEpochs: []int{epochs / 3, 2 * epochs / 3}, Factor: 0.5}},
 	} {
 		net := correctnessNet(cfg)(rand.New(rand.NewSource(cfg.Seed + 7)))
-		tc := trainer.Config{
-			Epochs: epochs, BatchPerRank: 32,
-			LR:       optim.LRSchedule{BaseLR: 0.05, WarmupEpochs: 1, Milestones: []int{epochs * 2 / 3}},
-			Momentum: 0.9, KFAC: base, DampingSchedule: row.sched, Seed: cfg.Seed,
+		s, err := trainer.NewSession(net, nil, train, test,
+			trainer.WithEpochs(epochs),
+			trainer.WithBatchPerRank(32),
+			trainer.WithLRSchedule(optim.LRSchedule{BaseLR: 0.05, WarmupEpochs: 1, Milestones: []int{epochs * 2 / 3}}),
+			trainer.WithMomentum(0.9),
+			trainer.WithSeed(cfg.Seed),
+			trainer.WithKFACOptions(*base),
+			trainer.WithDampingSchedule(row.sched),
+		)
+		if err != nil {
+			return err
 		}
-		res, err := trainer.TrainRank(net, nil, train, test, tc)
+		res, err := s.Run(ctx)
 		if err != nil {
 			return err
 		}

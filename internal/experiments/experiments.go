@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -37,8 +38,10 @@ type Experiment struct {
 	Title string
 	// Paper summarizes what the paper reports for this artifact.
 	Paper string
-	// Run executes the experiment and writes its table/series to w.
-	Run func(w io.Writer, cfg Config) error
+	// Run executes the experiment and writes its table/series to w. The
+	// context cancels in-progress training runs (kfac-bench wires it to
+	// SIGINT); model-based experiments complete quickly and may ignore it.
+	Run func(ctx context.Context, w io.Writer, cfg Config) error
 }
 
 var registry = map[string]Experiment{}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -52,7 +53,7 @@ func TestSimulatedExperimentsRun(t *testing.T) {
 		t.Run(id, func(t *testing.T) {
 			e, _ := ByID(id)
 			var buf bytes.Buffer
-			if err := e.Run(&buf, cfg); err != nil {
+			if err := e.Run(context.Background(), &buf, cfg); err != nil {
 				t.Fatal(err)
 			}
 			out := buf.String()
@@ -78,7 +79,7 @@ func TestTrainedExperimentsQuick(t *testing.T) {
 		t.Run(id, func(t *testing.T) {
 			e, _ := ByID(id)
 			var buf bytes.Buffer
-			if err := e.Run(&buf, cfg); err != nil {
+			if err := e.Run(context.Background(), &buf, cfg); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(buf.String(), "%") {
@@ -91,7 +92,7 @@ func TestTrainedExperimentsQuick(t *testing.T) {
 func TestFig5ReportsCrossing(t *testing.T) {
 	e, _ := ByID("fig5")
 	var buf bytes.Buffer
-	if err := e.Run(&buf, Config{}); err != nil {
+	if err := e.Run(context.Background(), &buf, Config{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "epochs to 75.9%") {
@@ -102,7 +103,7 @@ func TestFig5ReportsCrossing(t *testing.T) {
 func TestTable4IncludesPaperReference(t *testing.T) {
 	e, _ := ByID("table4")
 	var buf bytes.Buffer
-	if err := e.Run(&buf, Config{}); err != nil {
+	if err := e.Run(context.Background(), &buf, Config{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "paper:") {

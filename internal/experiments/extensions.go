@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -29,7 +30,7 @@ func init() {
 	})
 }
 
-func runMemory(w io.Writer, cfg Config) error {
+func runMemory(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("memory")
 	header(w, e)
 	fmt.Fprintf(w, "%-12s  %10s  %10s  %10s  %10s  %10s  %10s\n",
@@ -53,7 +54,7 @@ func runMemory(w io.Writer, cfg Config) error {
 // three ways — exact fused allreduce, float16-quantized exchange, and top-10%
 // sparsified exchange with error feedback — and reports final loss and
 // bytes moved per iteration.
-func runAblationCompression(w io.Writer, cfg Config) error {
+func runAblationCompression(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("ablation-compression")
 	header(w, e)
 	dcfg := data.CIFARLike(cfg.Seed)
@@ -109,7 +110,7 @@ func runCompressedTraining(train *data.Dataset, codec comm.Codec, iters int, see
 			net := models.BuildSmallCNN(3, 10, 4, rng)
 			c := comm.NewCommunicator(fab.Endpoint(r))
 			params := net.Params()
-			opt := optim.NewSGD(params, 0.05, 0.9, 0, false)
+			opt := optim.SGD(params, optim.WithLR(0.05), optim.WithMomentum(0.9))
 			ce := nn.CrossEntropy{}
 			sampler := data.ShardSampler{N: train.Len(), Rank: r, World: world, Seed: seed}
 			batches := data.Batches(train, sampler.EpochIndices(0), 16)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -37,27 +38,34 @@ func init() {
 // profileWorkload is the shared miniature-training harness of the profile
 // and pipeline experiments: it trains one epoch at the given world size and
 // step engine and returns rank 0's measured K-FAC stage profile.
-func profileWorkload(cfg Config, world int, engine kfac.Engine) (*kfac.StageStats, error) {
+func profileWorkload(ctx context.Context, cfg Config, world int, engine kfac.Engine) (*kfac.StageStats, error) {
 	dcfg := data.CIFARLike(cfg.Seed)
 	dcfg.Train, dcfg.Test, dcfg.Size = 256, 96, 16
 	train, test := data.GenerateSynthetic(dcfg)
-	tc := trainer.Config{
-		Epochs:       1,
-		BatchPerRank: 16,
-		LR:           optim.LRSchedule{BaseLR: 0.05},
-		Momentum:     0.9,
-		KFAC:         &kfac.Options{FactorUpdateFreq: 2, InvUpdateFreq: 4, Engine: engine},
-		Seed:         cfg.Seed,
+	opts := []trainer.SessionOption{
+		trainer.WithEpochs(1),
+		trainer.WithBatchPerRank(16),
+		trainer.WithLRSchedule(optim.LRSchedule{BaseLR: 0.05}),
+		trainer.WithMomentum(0.9),
+		trainer.WithKFAC(
+			kfac.WithFactorUpdateFreq(2),
+			kfac.WithInvUpdateFreq(4),
+			kfac.WithEngine(engine)),
+		trainer.WithSeed(cfg.Seed),
 	}
 	build := func(rng *rand.Rand) *nn.Sequential { return correctnessNet(cfg)(rng) }
 	if world == 1 {
-		res, err := trainer.TrainRank(build(rand.New(rand.NewSource(1))), nil, train, test, tc)
+		s, err := trainer.NewSession(build(rand.New(rand.NewSource(1))), nil, train, test, opts...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run(ctx)
 		if err != nil {
 			return nil, err
 		}
 		return res.KFACStats, nil
 	}
-	results, err := trainer.RunDistributed(world, build, train, test, tc)
+	results, err := trainer.RunSessions(ctx, world, build, train, test, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -75,14 +83,14 @@ func profileWorlds(cfg Config) []int {
 // runPipelineComparison trains the same miniature workload under both step
 // engines at several world sizes and reports the per-stage profile plus the
 // pipelined engine's overlap/idle accounting.
-func runPipelineComparison(w io.Writer, cfg Config) error {
+func runPipelineComparison(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("pipeline")
 	header(w, e)
 	fmt.Fprintf(w, "%-6s  %-10s  %12s  %12s  %12s  %12s  %12s  %12s\n",
 		"ranks", "engine", "factor comp", "factor comm", "eig comp", "eig comm", "update wall", "overlap")
 	for _, world := range profileWorlds(cfg) {
 		for _, engine := range []kfac.Engine{kfac.EngineSync, kfac.EnginePipelined} {
-			stats, err := profileWorkload(cfg, world, engine)
+			stats, err := profileWorkload(ctx, cfg, world, engine)
 			if err != nil {
 				return err
 			}
@@ -106,13 +114,13 @@ func runPipelineComparison(w io.Writer, cfg Config) error {
 
 // runProfile trains briefly at several in-process world sizes with K-FAC
 // and prints the measured stage profile from kfac.StageStats.
-func runProfile(w io.Writer, cfg Config) error {
+func runProfile(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("profile")
 	header(w, e)
 	fmt.Fprintf(w, "%-6s  %14s  %14s  %14s  %14s  %12s\n",
 		"ranks", "factor Tcomp", "factor Tcomm", "eig Tcomp", "eig Tcomm", "precond/step")
 	for _, world := range profileWorlds(cfg) {
-		stats, err := profileWorkload(cfg, world, kfac.EngineSync)
+		stats, err := profileWorkload(ctx, cfg, world, kfac.EngineSync)
 		if err != nil {
 			return err
 		}
@@ -134,7 +142,7 @@ func runProfile(w io.Writer, cfg Config) error {
 // runAblationUpdateFreq trains the real implementation at several
 // decomposition intervals and reports accuracy and wall time — the trained
 // miniature of Table III's tradeoff.
-func runAblationUpdateFreq(w io.Writer, cfg Config) error {
+func runAblationUpdateFreq(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("ablation-updatefreq")
 	header(w, e)
 	train, test := correctnessData(cfg)
@@ -149,7 +157,7 @@ func runAblationUpdateFreq(w io.Writer, cfg Config) error {
 		if facFreq < 1 {
 			facFreq = 1
 		}
-		res, err := trainOnce(cfg, train, test, 32, epochs,
+		res, err := trainOnce(ctx, cfg, train, test, 32, epochs,
 			&kfac.Options{FactorUpdateFreq: facFreq, InvUpdateFreq: f, Damping: 1e-3}, 0.05)
 		if err != nil {
 			return err

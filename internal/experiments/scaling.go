@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,19 +34,25 @@ func init() {
 		ID:    "fig7",
 		Title: "ResNet-50 time-to-solution across scales (performance model)",
 		Paper: "Figure 7: K-FAC-lw beats SGD by 2.8–19.1%, K-FAC-opt by 17.7–25.2%",
-		Run:   func(w io.Writer, cfg Config) error { return runScalingFig(w, cfg, "fig7", "resnet50") },
+		Run: func(ctx context.Context, w io.Writer, cfg Config) error {
+			return runScalingFig(w, cfg, "fig7", "resnet50")
+		},
 	})
 	register(Experiment{
 		ID:    "fig8",
 		Title: "ResNet-101 time-to-solution across scales (performance model)",
 		Paper: "Figure 8: K-FAC-opt beats SGD by 9.7–19.5% at all scales",
-		Run:   func(w io.Writer, cfg Config) error { return runScalingFig(w, cfg, "fig8", "resnet101") },
+		Run: func(ctx context.Context, w io.Writer, cfg Config) error {
+			return runScalingFig(w, cfg, "fig8", "resnet101")
+		},
 	})
 	register(Experiment{
 		ID:    "fig9",
 		Title: "ResNet-152 time-to-solution across scales (performance model)",
 		Paper: "Figure 9: K-FAC-opt wins by 4.9–8.2% up to 128 GPUs, loses 11.1% at 256",
-		Run:   func(w io.Writer, cfg Config) error { return runScalingFig(w, cfg, "fig9", "resnet152") },
+		Run: func(ctx context.Context, w io.Writer, cfg Config) error {
+			return runScalingFig(w, cfg, "fig9", "resnet152")
+		},
 	})
 	register(Experiment{
 		ID:    "table4",
@@ -95,7 +102,7 @@ func modelFor(name string) *simulate.Model {
 
 var scalesAll = []int{16, 32, 64, 128, 256}
 
-func runFig5(w io.Writer, cfg Config) error {
+func runFig5(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("fig5")
 	header(w, e)
 	kf, sgd := simulate.ResNet50Curves()
@@ -117,7 +124,7 @@ func runFig5(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runFig6(w io.Writer, cfg Config) error {
+func runFig6(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("fig6")
 	header(w, e)
 	freqs := []int{10, 100, 500, 1000}
@@ -145,7 +152,7 @@ func runFig6(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runTable3(w io.Writer, cfg Config) error {
+func runTable3(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("table3")
 	header(w, e)
 	freqs := []int{100, 500, 1000}
@@ -194,7 +201,7 @@ func runScalingFig(w io.Writer, cfg Config, id, model string) error {
 	return nil
 }
 
-func runTable4(w io.Writer, cfg Config) error {
+func runTable4(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("table4")
 	header(w, e)
 	fmt.Fprintf(w, "%-12s", "model")
@@ -224,7 +231,7 @@ func runTable4(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runTable5(w io.Writer, cfg Config) error {
+func runTable5(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("table5")
 	header(w, e)
 	fmt.Fprintf(w, "%-12s  %-5s  %13s  %13s  %13s  %13s\n",
@@ -242,7 +249,7 @@ func runTable5(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runTable6(w io.Writer, cfg Config) error {
+func runTable6(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("table6")
 	header(w, e)
 	fmt.Fprintf(w, "%-12s  %-5s  %-12s  %-12s\n", "model", "GPUs", "min speedup", "max speedup")
@@ -286,7 +293,7 @@ func busyMinMax(v []float64) (lo, hi float64) {
 	return lo, hi
 }
 
-func runFig10(w io.Writer, cfg Config) error {
+func runFig10(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("fig10")
 	header(w, e)
 	fmt.Fprintf(w, "%-12s  %-12s  %-14s  %-12s\n", "model", "params (M)", "factor Tcomp", "vs resnet50")
@@ -302,7 +309,7 @@ func runFig10(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runAblationPlacement(w io.Writer, cfg Config) error {
+func runAblationPlacement(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("ablation-placement")
 	header(w, e)
 	fmt.Fprintf(w, "%-12s  %-5s  %-16s  %-16s  %-10s\n",
@@ -323,7 +330,7 @@ func runAblationPlacement(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runAblationFusion(w io.Writer, cfg Config) error {
+func runAblationFusion(ctx context.Context, w io.Writer, cfg Config) error {
 	e, _ := ByID("ablation-fusion")
 	header(w, e)
 	// Model the effect of splitting a 100 MB gradient exchange into k

@@ -85,7 +85,7 @@ func TestPiDampingEigenMatchesFactoredInverse(t *testing.T) {
 
 func TestPiDampingTrainingStep(t *testing.T) {
 	net := buildTinyNet(31)
-	p := New(net, nil, Options{PiDamping: true, FactorUpdateFreq: 1, InvUpdateFreq: 1})
+	p := NewFromOptions(net, nil, Options{PiDamping: true, FactorUpdateFreq: 1, InvUpdateFreq: 1})
 	runStep(net, 310, 8)
 	if err := p.Step(0.1); err != nil {
 		t.Fatal(err)
@@ -102,7 +102,7 @@ func TestPiDampingTrainingStep(t *testing.T) {
 
 func TestPiDampingInverseModeStep(t *testing.T) {
 	net := buildTinyNet(32)
-	p := New(net, nil, Options{Mode: InverseMode, PiDamping: true, FactorUpdateFreq: 1, InvUpdateFreq: 1})
+	p := NewFromOptions(net, nil, Options{Mode: InverseMode, PiDamping: true, FactorUpdateFreq: 1, InvUpdateFreq: 1})
 	runStep(net, 320, 8)
 	if err := p.Step(0.1); err != nil {
 		t.Fatal(err)
@@ -114,7 +114,7 @@ func TestPiDampingInverseModeStep(t *testing.T) {
 
 func TestLMAdjustDirections(t *testing.T) {
 	net := buildTinyNet(33)
-	p := New(net, nil, Options{Damping: 0.01})
+	p := NewFromOptions(net, nil, Options{Damping: 0.01})
 	// Good model fit → damping shrinks.
 	p.LMAdjust(0.9, 0.5, 1e-6, 1)
 	if p.Damping() != 0.005 {
@@ -134,7 +134,7 @@ func TestLMAdjustDirections(t *testing.T) {
 
 func TestLMAdjustClamps(t *testing.T) {
 	net := buildTinyNet(34)
-	p := New(net, nil, Options{Damping: 1e-6})
+	p := NewFromOptions(net, nil, Options{Damping: 1e-6})
 	p.LMAdjust(0.9, 0.5, 1e-6, 1)
 	if p.Damping() != 1e-6 {
 		t.Errorf("min clamp failed: %v", p.Damping())
@@ -154,7 +154,7 @@ func TestLMAdjustClamps(t *testing.T) {
 
 func TestStageStatsAccumulate(t *testing.T) {
 	net := buildTinyNet(35)
-	p := New(net, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 2})
+	p := NewFromOptions(net, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 2})
 	for i := 0; i < 4; i++ {
 		runStep(net, int64(400+i), 4)
 		if err := p.Step(0.1); err != nil {

@@ -248,7 +248,7 @@ func TestPreconditionRoundTripProperty(t *testing.T) {
 
 func TestSingleProcessStepRunsAndChangesGrads(t *testing.T) {
 	net := buildTinyNet(7)
-	p := New(net, nil, Options{InvUpdateFreq: 2, FactorUpdateFreq: 1})
+	p := NewFromOptions(net, nil, Options{InvUpdateFreq: 2, FactorUpdateFreq: 1})
 	runStep(net, 100, 8)
 	before := net.Params()[0].Grad.Clone()
 	if err := p.Step(0.1); err != nil {
@@ -265,7 +265,7 @@ func TestSingleProcessStepRunsAndChangesGrads(t *testing.T) {
 
 func TestStaleDecompositionsBetweenUpdates(t *testing.T) {
 	net := buildTinyNet(8)
-	p := New(net, nil, Options{InvUpdateFreq: 10, FactorUpdateFreq: 10})
+	p := NewFromOptions(net, nil, Options{InvUpdateFreq: 10, FactorUpdateFreq: 10})
 	runStep(net, 101, 4)
 	if err := p.Step(0.1); err != nil {
 		t.Fatal(err)
@@ -297,7 +297,7 @@ func TestStaleDecompositionsBetweenUpdates(t *testing.T) {
 func TestKLClipBoundsUpdateNorm(t *testing.T) {
 	net := buildTinyNet(9)
 	// Huge gradients: ν must kick in and shrink the preconditioned grad.
-	pClip := New(net, nil, Options{KLClip: 1e-6, FactorUpdateFreq: 1, InvUpdateFreq: 1})
+	pClip := NewFromOptions(net, nil, Options{KLClip: 1e-6, FactorUpdateFreq: 1, InvUpdateFreq: 1})
 	runStep(net, 102, 8)
 	// Inflate gradients.
 	for _, pr := range net.Params() {
@@ -309,7 +309,7 @@ func TestKLClipBoundsUpdateNorm(t *testing.T) {
 	clipped := net.Params()[0].Grad.Norm2()
 
 	net2 := buildTinyNet(9)
-	pNo := New(net2, nil, Options{KLClip: -1, FactorUpdateFreq: 1, InvUpdateFreq: 1})
+	pNo := NewFromOptions(net2, nil, Options{KLClip: -1, FactorUpdateFreq: 1, InvUpdateFreq: 1})
 	runStep(net2, 102, 8)
 	for _, pr := range net2.Params() {
 		pr.Grad.Scale(100)
@@ -336,7 +336,7 @@ func TestDistributedMatchesSingleProcess(t *testing.T) {
 
 			// Reference: single process over the full batch.
 			ref := buildTinyNet(42)
-			pref := New(ref, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1})
+			pref := NewFromOptions(ref, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1})
 			runStep(ref, 999, batch)
 			if err := pref.Step(0.1); err != nil {
 				t.Fatal(err)
@@ -355,7 +355,7 @@ func TestDistributedMatchesSingleProcess(t *testing.T) {
 					defer wg.Done()
 					net := buildTinyNet(42)
 					c := comm.NewCommunicator(fab.Endpoint(r))
-					prec := New(net, c, Options{
+					prec := NewFromOptions(net, c, Options{
 						Strategy: strategy, FactorUpdateFreq: 1, InvUpdateFreq: 1,
 					})
 					runStep(net, 999, batch)
@@ -397,7 +397,7 @@ func TestDistributedStaleStepsSkipFactorComm(t *testing.T) {
 			defer wg.Done()
 			net := buildTinyNet(50)
 			c := comm.NewCommunicator(fab.Endpoint(r))
-			prec := New(net, c, Options{FactorUpdateFreq: 2, InvUpdateFreq: 4})
+			prec := NewFromOptions(net, c, Options{FactorUpdateFreq: 2, InvUpdateFreq: 4})
 			for i := 0; i < 6; i++ {
 				runStep(net, int64(700+i), 4)
 				if err := prec.Step(0.1); err != nil {
@@ -571,7 +571,7 @@ func TestParamSchedule(t *testing.T) {
 
 func TestSettersAndAccessors(t *testing.T) {
 	net := buildTinyNet(11)
-	p := New(net, nil, Options{})
+	p := NewFromOptions(net, nil, Options{})
 	if p.NumLayers() != 2 {
 		t.Errorf("NumLayers = %d, want 2", p.NumLayers())
 	}
@@ -598,7 +598,7 @@ func TestSettersAndAccessors(t *testing.T) {
 
 func TestInverseModeSingleProcess(t *testing.T) {
 	net := buildTinyNet(12)
-	p := New(net, nil, Options{Mode: InverseMode, FactorUpdateFreq: 1, InvUpdateFreq: 1, Damping: 0.01})
+	p := NewFromOptions(net, nil, Options{Mode: InverseMode, FactorUpdateFreq: 1, InvUpdateFreq: 1, Damping: 0.01})
 	runStep(net, 500, 8)
 	if err := p.Step(0.1); err != nil {
 		t.Fatal(err)
@@ -655,7 +655,7 @@ func TestDistributedFourRanksManyLayers(t *testing.T) {
 			defer wg.Done()
 			net := buildTinyNet(77)
 			c := comm.NewCommunicator(fab.Endpoint(r))
-			prec := New(net, c, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1})
+			prec := NewFromOptions(net, c, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1})
 			runStep(net, 888, 4)
 			if err := prec.Step(0.1); err != nil {
 				errs[r] = fmt.Errorf("step: %w", err)
@@ -679,7 +679,7 @@ func TestDistributedFourRanksManyLayers(t *testing.T) {
 
 func TestSkipLayersExcluded(t *testing.T) {
 	net := buildTinyNet(90)
-	p := New(net, nil, Options{SkipLayers: []string{"fc"}})
+	p := NewFromOptions(net, nil, Options{SkipLayers: []string{"fc"}})
 	if p.NumLayers() != 1 {
 		t.Errorf("NumLayers = %d, want 1 after skipping fc", p.NumLayers())
 	}
@@ -706,7 +706,7 @@ func TestSkipLayersExcluded(t *testing.T) {
 func TestMaxFactorDimExcludesWideLayers(t *testing.T) {
 	net := buildTinyNet(91)
 	// conv1 A dim = 1·3·3+1 = 10; fc A dim = 4. Limit 5 keeps only fc.
-	p := New(net, nil, Options{MaxFactorDim: 5})
+	p := NewFromOptions(net, nil, Options{MaxFactorDim: 5})
 	if p.NumLayers() != 1 {
 		t.Errorf("NumLayers = %d, want 1 under MaxFactorDim", p.NumLayers())
 	}

@@ -1,0 +1,81 @@
+package kfac
+
+// Option configures a preconditioner at construction:
+//
+//	prec := kfac.New(net, c,
+//		kfac.WithDamping(1e-3),
+//		kfac.WithEngine(kfac.EnginePipelined),
+//		kfac.WithStrategy(kfac.SizeGreedy))
+//
+// Options are applied in argument order over a zero Options value, later
+// options overriding earlier ones; the paper defaults of Options.fillDefaults
+// fill whatever remains unset. The Options struct is kept as the resolved
+// form — Build materializes an option list into one, and NewFromOptions
+// constructs a preconditioner directly from a resolved struct (the trainer's
+// Config path and tests use it).
+type Option func(*Options)
+
+// Build resolves an option list into the Options struct form. Zero-valued
+// fields are later replaced by the paper defaults inside New/NewFromOptions.
+func Build(opts ...Option) Options {
+	var o Options
+	for _, op := range opts {
+		op(&o)
+	}
+	return o
+}
+
+// WithOptions merges a pre-resolved Options struct wholesale; combine it
+// with later options to tweak individual fields of a shared base.
+func WithOptions(o Options) Option { return func(dst *Options) { *dst = o } }
+
+// WithMode selects how (F̂+γI)⁻¹ is applied (default EigenMode).
+func WithMode(m Mode) Option { return func(o *Options) { o.Mode = m } }
+
+// WithStrategy selects the factor→worker placement strategy (default
+// RoundRobin, the paper's K-FAC-opt).
+func WithStrategy(s Strategy) Option { return func(o *Options) { o.Strategy = s } }
+
+// WithDamping sets the Tikhonov regularizer γ (default 0.001).
+func WithDamping(g float64) Option { return func(o *Options) { o.Damping = g } }
+
+// WithFactorDecay sets the running-average coefficient ξ (default 0.95).
+func WithFactorDecay(d float64) Option { return func(o *Options) { o.FactorDecay = d } }
+
+// WithKLClip sets the κ constant of the gradient-scaling Equation 18
+// (default 0.001). Negative disables clipping.
+func WithKLClip(k float64) Option { return func(o *Options) { o.KLClip = k } }
+
+// WithFactorUpdateFreq sets the interval in iterations between factor
+// recomputation + allreduce (default 10).
+func WithFactorUpdateFreq(n int) Option { return func(o *Options) { o.FactorUpdateFreq = n } }
+
+// WithInvUpdateFreq sets the paper's kfac-update-freq: the interval between
+// eigendecomposition (or inverse) updates (default 100).
+func WithInvUpdateFreq(n int) Option { return func(o *Options) { o.InvUpdateFreq = n } }
+
+// WithFusionBytes bounds the factor-allreduce fusion buffer (default
+// comm.DefaultFusionBytes).
+func WithFusionBytes(b int) Option { return func(o *Options) { o.FusionBytes = b } }
+
+// WithPiDamping enables the π-corrected factored damping split of
+// Martens & Grosse (off by default, matching the paper).
+func WithPiDamping() Option { return func(o *Options) { o.PiDamping = true } }
+
+// WithSkipLayers lists layer names to leave to the first-order optimizer.
+func WithSkipLayers(names ...string) Option {
+	return func(o *Options) { o.SkipLayers = append(o.SkipLayers, names...) }
+}
+
+// WithMaxFactorDim excludes layers whose A or G factor would exceed this
+// dimension (default 0 = no limit).
+func WithMaxFactorDim(d int) Option { return func(o *Options) { o.MaxFactorDim = d } }
+
+// WithEngine selects the Step execution engine (default EngineSync;
+// EnginePipelined overlaps compute, communication, and decomposition with
+// bit-identical results).
+func WithEngine(e Engine) Option { return func(o *Options) { o.Engine = e } }
+
+// WithPipelineWorkers bounds the pipelined engine's compute pool
+// (default 0 = GOMAXPROCS). Ignored by EngineSync.
+func WithPipelineWorkers(n int) Option { return func(o *Options) { o.PipelineWorkers = n } }

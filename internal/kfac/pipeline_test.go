@@ -14,7 +14,7 @@ import (
 func stepTrace(t *testing.T, c *comm.Communicator, opts Options, steps int) []*tensor.Tensor {
 	t.Helper()
 	net := buildTinyNet(42)
-	prec := New(net, c, opts)
+	prec := NewFromOptions(net, c, opts)
 	defer prec.Close()
 	for i := 0; i < steps; i++ {
 		runStep(net, int64(1000+i), 4)
@@ -144,7 +144,7 @@ func TestPipelinedDecompOnlyIteration(t *testing.T) {
 
 func TestPipelinedStatsRecordOverlap(t *testing.T) {
 	net := buildTinyNet(42)
-	prec := New(net, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1, Engine: EnginePipelined})
+	prec := NewFromOptions(net, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1, Engine: EnginePipelined})
 	defer prec.Close()
 	runStep(net, 1, 8)
 	if err := prec.Step(0.1); err != nil {
@@ -167,7 +167,7 @@ func TestPipelinedStatsRecordOverlap(t *testing.T) {
 
 func TestPipelinedCloseAndReuse(t *testing.T) {
 	net := buildTinyNet(42)
-	prec := New(net, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1, Engine: EnginePipelined})
+	prec := NewFromOptions(net, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1, Engine: EnginePipelined})
 	runStep(net, 2, 4)
 	if err := prec.Step(0.1); err != nil {
 		t.Fatal(err)

@@ -126,9 +126,17 @@ type Preconditioner struct {
 }
 
 // New builds a preconditioner over every K-FAC-capturable layer of model
-// (Linear and Conv2D; all other layers are left to the wrapped optimizer).
-// c may be nil for single-process training.
-func New(model nn.Layer, c *comm.Communicator, opts Options) *Preconditioner {
+// (Linear and Conv2D; all other layers are left to the wrapped optimizer),
+// configured by functional options over the paper defaults. c may be nil
+// for single-process training.
+func New(model nn.Layer, c *comm.Communicator, opts ...Option) *Preconditioner {
+	return NewFromOptions(model, c, Build(opts...))
+}
+
+// NewFromOptions builds a preconditioner from a resolved Options struct —
+// the form the trainer's Config carries. Zero-valued fields select the
+// paper defaults.
+func NewFromOptions(model nn.Layer, c *comm.Communicator, opts Options) *Preconditioner {
 	opts.fillDefaults()
 	skip := make(map[string]bool, len(opts.SkipLayers))
 	for _, n := range opts.SkipLayers {

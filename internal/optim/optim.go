@@ -4,6 +4,10 @@
 // baseline family the related-work section compares against), Adam, and the
 // linear-warmup + step-decay schedule used for every run in §VI.
 //
+// Optimizers are constructed with functional options:
+//
+//	opt := optim.SGD(net.Params(), optim.WithLR(0.1), optim.WithMomentum(0.9))
+//
 // K-FAC composes with any of these: the preconditioner rewrites parameter
 // gradients in place, then the optimizer applies its usual update rule
 // (paper Listing 1).
@@ -16,23 +20,35 @@ import (
 	"repro/internal/tensor"
 )
 
-// Optimizer updates parameters from their accumulated gradients.
+// Optimizer updates parameters from their accumulated gradients. All
+// implementations in this package satisfy it, and the trainer accepts any
+// implementation through trainer.WithOptimizer.
 type Optimizer interface {
 	// Step applies one update using the current learning rate.
 	Step()
+	// ZeroGrad clears the accumulated gradients of every managed parameter.
+	ZeroGrad()
 	// SetLR sets the learning rate used by subsequent steps.
 	SetLR(lr float64)
 	// LR returns the current learning rate.
 	LR() float64
 }
 
-// SGD is stochastic gradient descent with momentum and L2 weight decay,
-// matching PyTorch's torch.optim.SGD semantics:
+// zeroGrads clears the gradient buffers of params — the shared ZeroGrad
+// implementation.
+func zeroGrads(params []*nn.Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// SGDOptimizer is stochastic gradient descent with momentum and L2 weight
+// decay, matching PyTorch's torch.optim.SGD semantics:
 //
 //	buf = momentum·buf + grad + wd·w
 //	w  -= lr · buf            (heavy ball)
 //	w  -= lr · (grad + momentum·buf)  (Nesterov)
-type SGD struct {
+type SGDOptimizer struct {
 	Params      []*nn.Param
 	Momentum    float64
 	WeightDecay float64
@@ -42,20 +58,33 @@ type SGD struct {
 	bufs []*tensor.Tensor
 }
 
-// NewSGD constructs an SGD optimizer over params.
-func NewSGD(params []*nn.Param, lr, momentum, weightDecay float64, nesterov bool) *SGD {
+// SGD constructs an SGD optimizer over params. Defaults (overridable by
+// options): lr 0.1, zero momentum, zero weight decay, heavy-ball update.
+func SGD(params []*nn.Param, opts ...Option) *SGDOptimizer {
+	st := resolve(opts)
 	bufs := make([]*tensor.Tensor, len(params))
 	for i, p := range params {
 		bufs[i] = tensor.New(p.Value.Shape...)
 	}
-	return &SGD{
-		Params: params, Momentum: momentum, WeightDecay: weightDecay,
-		Nesterov: nesterov, lr: lr, bufs: bufs,
+	return &SGDOptimizer{
+		Params: params, Momentum: st.momentum, WeightDecay: st.weightDecay,
+		Nesterov: st.nesterov, lr: st.lr, bufs: bufs,
 	}
 }
 
+// NewSGD constructs an SGD optimizer from positional arguments.
+//
+// Deprecated: use SGD with functional options.
+func NewSGD(params []*nn.Param, lr, momentum, weightDecay float64, nesterov bool) *SGDOptimizer {
+	opts := []Option{WithLR(lr), WithMomentum(momentum), WithWeightDecay(weightDecay)}
+	if nesterov {
+		opts = append(opts, WithNesterov())
+	}
+	return SGD(params, opts...)
+}
+
 // Step implements Optimizer.
-func (s *SGD) Step() {
+func (s *SGDOptimizer) Step() {
 	for i, p := range s.Params {
 		g := p.Grad
 		buf := s.bufs[i]
@@ -78,16 +107,19 @@ func (s *SGD) Step() {
 	}
 }
 
+// ZeroGrad implements Optimizer.
+func (s *SGDOptimizer) ZeroGrad() { zeroGrads(s.Params) }
+
 // SetLR implements Optimizer.
-func (s *SGD) SetLR(lr float64) { s.lr = lr }
+func (s *SGDOptimizer) SetLR(lr float64) { s.lr = lr }
 
 // LR implements Optimizer.
-func (s *SGD) LR() float64 { return s.lr }
+func (s *SGDOptimizer) LR() float64 { return s.lr }
 
-// LARS is layer-wise adaptive rate scaling (You et al.), the optimizer the
-// large-batch SGD line of work (paper §III-A) builds on. Each parameter's
-// local learning rate is scaled by η·‖w‖/(‖g‖+wd·‖w‖).
-type LARS struct {
+// LARSOptimizer is layer-wise adaptive rate scaling (You et al.), the
+// optimizer the large-batch SGD line of work (paper §III-A) builds on. Each
+// parameter's local learning rate is scaled by η·‖w‖/(‖g‖+wd·‖w‖).
+type LARSOptimizer struct {
 	Params      []*nn.Param
 	Momentum    float64
 	WeightDecay float64
@@ -97,17 +129,31 @@ type LARS struct {
 	bufs []*tensor.Tensor
 }
 
-// NewLARS constructs a LARS optimizer.
-func NewLARS(params []*nn.Param, lr, momentum, weightDecay, eta float64) *LARS {
+// LARS constructs a LARS optimizer over params. Defaults (overridable by
+// options): lr 0.1, zero momentum, zero weight decay, trust coefficient
+// η = 0.001.
+func LARS(params []*nn.Param, opts ...Option) *LARSOptimizer {
+	st := resolve(opts)
 	bufs := make([]*tensor.Tensor, len(params))
 	for i, p := range params {
 		bufs[i] = tensor.New(p.Value.Shape...)
 	}
-	return &LARS{Params: params, Momentum: momentum, WeightDecay: weightDecay, Eta: eta, lr: lr, bufs: bufs}
+	return &LARSOptimizer{
+		Params: params, Momentum: st.momentum, WeightDecay: st.weightDecay,
+		Eta: st.eta, lr: st.lr, bufs: bufs,
+	}
+}
+
+// NewLARS constructs a LARS optimizer from positional arguments.
+//
+// Deprecated: use LARS with functional options.
+func NewLARS(params []*nn.Param, lr, momentum, weightDecay, eta float64) *LARSOptimizer {
+	return LARS(params, WithLR(lr), WithMomentum(momentum),
+		WithWeightDecay(weightDecay), WithTrustCoefficient(eta))
 }
 
 // Step implements Optimizer.
-func (l *LARS) Step() {
+func (l *LARSOptimizer) Step() {
 	for i, p := range l.Params {
 		wd := l.WeightDecay
 		if p.NoWeightDecay {
@@ -128,14 +174,18 @@ func (l *LARS) Step() {
 	}
 }
 
+// ZeroGrad implements Optimizer.
+func (l *LARSOptimizer) ZeroGrad() { zeroGrads(l.Params) }
+
 // SetLR implements Optimizer.
-func (l *LARS) SetLR(lr float64) { l.lr = lr }
+func (l *LARSOptimizer) SetLR(lr float64) { l.lr = lr }
 
 // LR implements Optimizer.
-func (l *LARS) LR() float64 { return l.lr }
+func (l *LARSOptimizer) LR() float64 { return l.lr }
 
-// Adam implements the Adam optimizer (Kingma & Ba) with bias correction.
-type Adam struct {
+// AdamOptimizer implements the Adam optimizer (Kingma & Ba) with bias
+// correction.
+type AdamOptimizer struct {
 	Params      []*nn.Param
 	Beta1       float64
 	Beta2       float64
@@ -147,29 +197,46 @@ type Adam struct {
 	m, v []*tensor.Tensor
 }
 
-// NewAdam constructs an Adam optimizer with the usual defaults for zero
-// beta/eps arguments (0.9, 0.999, 1e-8).
-func NewAdam(params []*nn.Param, lr, beta1, beta2, eps, weightDecay float64) *Adam {
-	if beta1 == 0 {
-		beta1 = 0.9
-	}
-	if beta2 == 0 {
-		beta2 = 0.999
-	}
-	if eps == 0 {
-		eps = 1e-8
-	}
+// Adam constructs an Adam optimizer over params. Defaults (overridable by
+// options): lr 0.1, β₁ 0.9, β₂ 0.999, ε 1e-8, zero weight decay.
+func Adam(params []*nn.Param, opts ...Option) *AdamOptimizer {
+	st := resolve(opts)
 	m := make([]*tensor.Tensor, len(params))
 	v := make([]*tensor.Tensor, len(params))
 	for i, p := range params {
 		m[i] = tensor.New(p.Value.Shape...)
 		v[i] = tensor.New(p.Value.Shape...)
 	}
-	return &Adam{Params: params, Beta1: beta1, Beta2: beta2, Eps: eps, WeightDecay: weightDecay, lr: lr, m: m, v: v}
+	return &AdamOptimizer{
+		Params: params, Beta1: st.beta1, Beta2: st.beta2, Eps: st.eps,
+		WeightDecay: st.weightDecay, lr: st.lr, m: m, v: v,
+	}
+}
+
+// NewAdam constructs an Adam optimizer from positional arguments, with the
+// usual defaults for zero beta/eps arguments (0.9, 0.999, 1e-8).
+//
+// Deprecated: use Adam with functional options.
+func NewAdam(params []*nn.Param, lr, beta1, beta2, eps, weightDecay float64) *AdamOptimizer {
+	opts := []Option{WithLR(lr), WithWeightDecay(weightDecay)}
+	if beta1 != 0 || beta2 != 0 {
+		b1, b2 := beta1, beta2
+		if b1 == 0 {
+			b1 = 0.9
+		}
+		if b2 == 0 {
+			b2 = 0.999
+		}
+		opts = append(opts, WithBetas(b1, b2))
+	}
+	if eps != 0 {
+		opts = append(opts, WithEpsilon(eps))
+	}
+	return Adam(params, opts...)
 }
 
 // Step implements Optimizer.
-func (a *Adam) Step() {
+func (a *AdamOptimizer) Step() {
 	a.step++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
@@ -190,11 +257,14 @@ func (a *Adam) Step() {
 	}
 }
 
+// ZeroGrad implements Optimizer.
+func (a *AdamOptimizer) ZeroGrad() { zeroGrads(a.Params) }
+
 // SetLR implements Optimizer.
-func (a *Adam) SetLR(lr float64) { a.lr = lr }
+func (a *AdamOptimizer) SetLR(lr float64) { a.lr = lr }
 
 // LR implements Optimizer.
-func (a *Adam) LR() float64 { return a.lr }
+func (a *AdamOptimizer) LR() float64 { return a.lr }
 
 // ClipGradNorm rescales all gradients jointly so their global L2 norm does
 // not exceed maxNorm, returning the pre-clip norm. A no-op when the norm is

@@ -1,0 +1,156 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// clonedParams returns two identical parameter sets so two optimizers can be
+// stepped side by side.
+func clonedParams(value, grad []float64) (*nn.Param, *nn.Param) {
+	a := paramWith(value, grad)
+	b := paramWith(value, grad)
+	return a, b
+}
+
+// The functional constructors must produce trajectories identical to the
+// deprecated positional ones.
+func TestFunctionalConstructorsMatchPositional(t *testing.T) {
+	t.Run("sgd", func(t *testing.T) {
+		a, b := clonedParams([]float64{1, -2}, []float64{0.3, 0.7})
+		oldOpt := NewSGD([]*nn.Param{a}, 0.05, 0.9, 0.01, true)
+		newOpt := SGD([]*nn.Param{b},
+			WithLR(0.05), WithMomentum(0.9), WithWeightDecay(0.01), WithNesterov())
+		for i := 0; i < 5; i++ {
+			oldOpt.Step()
+			newOpt.Step()
+		}
+		if !a.Value.Equal(b.Value, 0) {
+			t.Errorf("SGD trajectories diverge: %v vs %v", a.Value.Data, b.Value.Data)
+		}
+	})
+	t.Run("lars", func(t *testing.T) {
+		a, b := clonedParams([]float64{1, 1}, []float64{2, -1})
+		oldOpt := NewLARS([]*nn.Param{a}, 0.05, 0.9, 0.01, 0.02)
+		newOpt := LARS([]*nn.Param{b},
+			WithLR(0.05), WithMomentum(0.9), WithWeightDecay(0.01), WithTrustCoefficient(0.02))
+		for i := 0; i < 5; i++ {
+			oldOpt.Step()
+			newOpt.Step()
+		}
+		if !a.Value.Equal(b.Value, 0) {
+			t.Errorf("LARS trajectories diverge: %v vs %v", a.Value.Data, b.Value.Data)
+		}
+	})
+	t.Run("adam", func(t *testing.T) {
+		a, b := clonedParams([]float64{1, -1}, []float64{0.5, 0.25})
+		oldOpt := NewAdam([]*nn.Param{a}, 0.01, 0.8, 0.99, 1e-6, 0.01)
+		newOpt := Adam([]*nn.Param{b},
+			WithLR(0.01), WithBetas(0.8, 0.99), WithEpsilon(1e-6), WithWeightDecay(0.01))
+		for i := 0; i < 5; i++ {
+			oldOpt.Step()
+			newOpt.Step()
+		}
+		if !a.Value.Equal(b.Value, 0) {
+			t.Errorf("Adam trajectories diverge: %v vs %v", a.Value.Data, b.Value.Data)
+		}
+	})
+}
+
+func TestOptionDefaults(t *testing.T) {
+	a := Adam(nil)
+	if a.Beta1 != 0.9 || a.Beta2 != 0.999 || a.Eps != 1e-8 {
+		t.Errorf("Adam defaults = %v %v %v", a.Beta1, a.Beta2, a.Eps)
+	}
+	if a.LR() != 0.1 {
+		t.Errorf("default lr = %v, want 0.1", a.LR())
+	}
+	l := LARS(nil)
+	if l.Eta != 0.001 {
+		t.Errorf("LARS default eta = %v, want 0.001", l.Eta)
+	}
+	s := SGD(nil)
+	if s.Momentum != 0 || s.WeightDecay != 0 || s.Nesterov {
+		t.Errorf("SGD defaults = %+v", s)
+	}
+}
+
+// Later options override earlier ones.
+func TestOptionOrderLastWins(t *testing.T) {
+	s := SGD(nil, WithLR(0.1), WithLR(0.7))
+	if s.LR() != 0.7 {
+		t.Errorf("lr = %v, want 0.7 (last option wins)", s.LR())
+	}
+}
+
+// Irrelevant options are accepted and ignored, so one option list can serve
+// several optimizer families.
+func TestIrrelevantOptionsIgnored(t *testing.T) {
+	shared := []Option{WithLR(0.2), WithBetas(0.5, 0.6), WithTrustCoefficient(7)}
+	s := SGD(nil, shared...)
+	if s.LR() != 0.2 {
+		t.Errorf("SGD ignored WithLR in shared list: %v", s.LR())
+	}
+	a := Adam(nil, shared...)
+	if a.Beta1 != 0.5 || a.Beta2 != 0.6 {
+		t.Errorf("Adam betas = %v %v", a.Beta1, a.Beta2)
+	}
+}
+
+func TestZeroGrad(t *testing.T) {
+	p := paramWith([]float64{1, 2}, []float64{3, 4})
+	for _, o := range []Optimizer{
+		SGD([]*nn.Param{p}),
+		LARS([]*nn.Param{p}),
+		Adam([]*nn.Param{p}),
+	} {
+		copy(p.Grad.Data, []float64{3, 4})
+		o.ZeroGrad()
+		if p.Grad.Data[0] != 0 || p.Grad.Data[1] != 0 {
+			t.Errorf("%T: ZeroGrad left %v", o, p.Grad.Data)
+		}
+	}
+}
+
+// NewAdam's zero-argument defaulting must survive the shim.
+func TestNewAdamZeroDefaultsThroughShim(t *testing.T) {
+	p := paramWith([]float64{0}, []float64{1})
+	a := NewAdam([]*nn.Param{p}, 0.1, 0, 0, 0, 0)
+	if a.Beta1 != 0.9 || a.Beta2 != 0.999 || a.Eps != 1e-8 {
+		t.Errorf("shim defaults = %v %v %v", a.Beta1, a.Beta2, a.Eps)
+	}
+	// Partial zeroing: beta1 set, beta2 zero → beta2 defaults.
+	b := NewAdam([]*nn.Param{p}, 0.1, 0.8, 0, 0, 0)
+	if b.Beta1 != 0.8 || b.Beta2 != 0.999 {
+		t.Errorf("partial shim defaults = %v %v", b.Beta1, b.Beta2)
+	}
+}
+
+// The Optimizer interface is satisfied by all three families and drives a
+// quadratic to its minimum regardless of implementation.
+func TestInterfaceStepConverges(t *testing.T) {
+	target := []float64{1, -2, 3}
+	for _, mk := range []func(p *nn.Param) Optimizer{
+		func(p *nn.Param) Optimizer { return SGD([]*nn.Param{p}, WithLR(0.3), WithMomentum(0.9)) },
+		func(p *nn.Param) Optimizer { return Adam([]*nn.Param{p}, WithLR(0.1)) },
+	} {
+		p := nn.NewParam("w", tensor.New(3))
+		o := mk(p)
+		for i := 0; i < 1000; i++ {
+			o.ZeroGrad()
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] = p.Value.Data[j] - target[j]
+			}
+			o.Step()
+		}
+		for j := range target {
+			if math.Abs(p.Value.Data[j]-target[j]) > 1e-3 {
+				t.Errorf("%T did not converge: %v", o, p.Value.Data)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package trainer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/kfac"
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// sessionOpts are the session-API equivalent of baseConfig.
+func sessionOpts() []SessionOption {
+	return []SessionOption{
+		WithEpochs(3),
+		WithBatchPerRank(16),
+		WithLRSchedule(optim.LRSchedule{BaseLR: 0.05, WarmupEpochs: 1}),
+		WithMomentum(0.9),
+		WithSeed(5),
+	}
+}
+
+func TestSessionRunMatchesLegacyTrainRankBitIdentical(t *testing.T) {
+	train, test := tinyDataset(t)
+
+	legacyNet := buildTestNet(rand.New(rand.NewSource(1)))
+	cfg := baseConfig()
+	cfg.KFAC = &kfac.Options{FactorUpdateFreq: 2, InvUpdateFreq: 4, Damping: 0.01}
+	legacy, err := TrainRank(legacyNet, nil, train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sessNet := buildTestNet(rand.New(rand.NewSource(1)))
+	s, err := NewSession(sessNet, nil, train, test, append(sessionOpts(),
+		WithKFAC(kfac.WithFactorUpdateFreq(2), kfac.WithInvUpdateFreq(4), kfac.WithDamping(0.01)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run under a cancellable (but never cancelled) context so the
+	// cancellation machinery is active and must not perturb numerics.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Iterations != legacy.Iterations {
+		t.Fatalf("iterations %d != legacy %d", res.Iterations, legacy.Iterations)
+	}
+	if len(res.History) != len(legacy.History) {
+		t.Fatalf("history length %d != legacy %d", len(res.History), len(legacy.History))
+	}
+	for i := range res.History {
+		a, b := res.History[i], legacy.History[i]
+		if a.LR != b.LR || a.TrainLoss != b.TrainLoss || a.TrainAcc != b.TrainAcc ||
+			a.ValAcc != b.ValAcc || a.ValTop5 != b.ValTop5 {
+			t.Errorf("epoch %d diverged:\n session %+v\n legacy  %+v", i, a, b)
+		}
+	}
+	// The trained parameters must agree bit for bit as well.
+	lp, sp := legacyNet.Params(), sessNet.Params()
+	for i := range lp {
+		if !lp[i].Value.Equal(sp[i].Value, 0) {
+			t.Fatalf("parameter %s diverged between session and legacy paths", lp[i].Name)
+		}
+	}
+}
+
+func TestRunSessionsMatchesRunDistributed(t *testing.T) {
+	train, test := tinyDataset(t)
+	cfg := baseConfig()
+	cfg.Epochs = 2
+	cfg.BatchPerRank = 8
+	legacy, err := RunDistributed(2, buildTestNet, train, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := RunSessions(ctx, 2, buildTestNet, train, test,
+		WithEpochs(2), WithBatchPerRank(8),
+		WithLRSchedule(optim.LRSchedule{BaseLR: 0.05, WarmupEpochs: 1}),
+		WithMomentum(0.9), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range res {
+		for i := range res[r].History {
+			a, b := res[r].History[i], legacy[r].History[i]
+			if a.TrainLoss != b.TrainLoss || a.ValAcc != b.ValAcc {
+				t.Errorf("rank %d epoch %d diverged: %+v vs %+v", r, i, a, b)
+			}
+		}
+	}
+}
+
+// Cancelling mid-epoch must return context.Canceled on every rank, with
+// every rank stopping at the same iteration boundary and no deadlock.
+func TestSessionCancellationAllRanksSameBoundary(t *testing.T) {
+	const world = 3
+	const cancelAt = 3 // optimizer steps before rank 0 cancels
+	train, test := tinyDataset(t)
+	fab := comm.NewInprocFabric(world)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	results := make([]*Result, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			net := buildTestNet(rand.New(rand.NewSource(12345)))
+			c := comm.NewCommunicator(fab.Endpoint(r))
+			opts := append(sessionOpts(), WithEpochs(5), WithBatchPerRank(8))
+			if r == 0 {
+				opts = append(opts, OnStep(func(s *Session, info StepInfo) error {
+					if info.Iteration == cancelAt {
+						cancel()
+					}
+					return nil
+				}))
+			}
+			s, err := NewSession(net, c, train, test, opts...)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], errs[r] = s.Run(ctx)
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ranks deadlocked after cancellation")
+	}
+
+	for r := 0; r < world; r++ {
+		if !errors.Is(errs[r], context.Canceled) {
+			t.Errorf("rank %d returned %v, want context.Canceled", r, errs[r])
+		}
+		if results[r] == nil {
+			t.Fatalf("rank %d returned no partial result", r)
+		}
+		if results[r].Iterations != cancelAt {
+			t.Errorf("rank %d stopped after %d iterations, want %d (same boundary on every rank)",
+				r, results[r].Iterations, cancelAt)
+		}
+	}
+
+	// The communicator stayed synchronized: a fresh collective still works.
+	var barrierWG sync.WaitGroup
+	barrierErrs := make([]error, world)
+	for r := 0; r < world; r++ {
+		barrierWG.Add(1)
+		go func(r int) {
+			defer barrierWG.Done()
+			barrierErrs[r] = comm.NewCommunicator(fab.Endpoint(r)).Barrier()
+		}(r)
+	}
+	barrierWG.Wait()
+	for r, err := range barrierErrs {
+		if err != nil {
+			t.Errorf("post-cancel barrier failed on rank %d: %v", r, err)
+		}
+	}
+}
+
+// A context cancelled before Run starts must stop training before the
+// first optimizer step.
+func TestSessionPreCancelledContext(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(1)))
+	s, err := NewSession(net, nil, train, test, sessionOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := s.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("took %d steps under a pre-cancelled context", res.Iterations)
+	}
+}
+
+// Hooks of each kind run in registration order, and option-installed stock
+// hooks honor option position.
+func TestHookOrdering(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(2)))
+	var order []string
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(),
+		WithEpochs(1),
+		OnEpochEnd(func(s *Session, e EpochStats) error {
+			order = append(order, "epoch-a")
+			return nil
+		}),
+		OnEpochEnd(func(s *Session, e EpochStats) error {
+			order = append(order, "epoch-b")
+			return nil
+		}),
+		OnCheckpoint(func(s *Session, info CheckpointInfo) error {
+			order = append(order, "ckpt")
+			return nil
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := true
+	s.OnStep(func(s *Session, info StepInfo) error {
+		if first {
+			order = append(order, "step")
+			first = false
+		}
+		return nil
+	})
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := "step,epoch-a,epoch-b,ckpt"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("hook order = %q, want %q", got, want)
+	}
+}
+
+// ErrStop from an epoch hook ends the run gracefully with Stopped set.
+func TestEpochHookErrStop(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(3)))
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(), WithEpochs(50),
+		OnEpochEnd(func(s *Session, e EpochStats) error {
+			if e.Epoch >= 1 {
+				return ErrStop
+			}
+			return nil
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Error("Stopped not set after ErrStop")
+	}
+	if len(res.History) != 2 {
+		t.Errorf("trained %d epochs, want 2", len(res.History))
+	}
+}
+
+// ErrStop from a step hook is honored at the epoch boundary.
+func TestStepHookErrStopHonoredAtEpochBoundary(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(4)))
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(), WithEpochs(5),
+		OnStep(func(s *Session, info StepInfo) error {
+			if info.Iteration == 2 {
+				return ErrStop
+			}
+			return nil
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || len(res.History) != 1 {
+		t.Errorf("stopped=%v history=%d, want graceful stop after epoch 0", res.Stopped, len(res.History))
+	}
+}
+
+// A non-ErrStop hook error aborts the run with that error.
+func TestHookErrorAbortsRun(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(5)))
+	boom := errors.New("boom")
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(),
+		OnEpochEnd(func(s *Session, e EpochStats) error { return boom }))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestCheckpointHookCadence(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(6)))
+	var at []int
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(),
+		WithEpochs(5), WithCheckpointEvery(2),
+		OnCheckpoint(func(s *Session, info CheckpointInfo) error {
+			at = append(at, info.Epoch)
+			return nil
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 4} // every 2nd epoch, plus the final epoch
+	if fmt.Sprint(at) != fmt.Sprint(want) {
+		t.Errorf("checkpoints at %v, want %v", at, want)
+	}
+}
+
+// ErrStop from a checkpoint hook also stops the run gracefully.
+func TestCheckpointHookErrStop(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(9)))
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(),
+		WithEpochs(10), WithCheckpointEvery(1),
+		OnCheckpoint(func(s *Session, info CheckpointInfo) error {
+			if info.Epoch >= 1 {
+				return ErrStop
+			}
+			return nil
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || len(res.History) != 2 {
+		t.Errorf("stopped=%v history=%d, want graceful stop after epoch 1", res.Stopped, len(res.History))
+	}
+}
+
+// WithOptimizer swaps the update rule; the session drives any Optimizer.
+func TestSessionWithCustomOptimizer(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(7)))
+	var built optim.Optimizer
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(), WithEpochs(1),
+		WithOptimizer(func(params []*nn.Param, initialLR float64) optim.Optimizer {
+			built = optim.Adam(params, optim.WithLR(initialLR))
+			return built
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built == nil {
+		t.Fatal("optimizer factory never called")
+	}
+	if res.FinalValAcc <= 0.25 {
+		t.Errorf("Adam session did not train: val acc %v", res.FinalValAcc)
+	}
+}
+
+// The stock stop hook (WithStopAtValAcc) behaves like the legacy field.
+func TestStockStopHook(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(1)))
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(),
+		WithEpochs(50), WithStopAtValAcc(0.30))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.FinalValAcc < 0.30 {
+		t.Errorf("stopped=%v acc=%v", res.Stopped, res.FinalValAcc)
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(8)))
+	if _, err := NewSession(net, nil, train, test); err == nil {
+		t.Error("expected error without epochs/batch")
+	}
+	if _, err := NewSession(nil, nil, train, test, sessionOpts()...); err == nil {
+		t.Error("expected error for nil net")
+	}
+}
+
+func TestEpochsToReachEdgeCases(t *testing.T) {
+	empty := &Result{}
+	if got := empty.EpochsToReach(0.1); got != -1 {
+		t.Errorf("empty history: %d, want -1", got)
+	}
+	r := &Result{History: []EpochStats{
+		{Epoch: 0, ValAcc: 0.5},
+		{Epoch: 1, ValAcc: 0.7},
+		{Epoch: 2, ValAcc: 0.6}, // regression after the peak
+	}}
+	// 1-based: the threshold met at zero-based epoch 0 reports 1.
+	if got := r.EpochsToReach(0.5); got != 1 {
+		t.Errorf("first-epoch reach: %d, want 1", got)
+	}
+	// Exact equality counts as reached.
+	if got := r.EpochsToReach(0.7); got != 2 {
+		t.Errorf("exact threshold: %d, want 2", got)
+	}
+	// The first reaching epoch wins even if accuracy later regresses.
+	if got := r.EpochsToReach(0.65); got != 2 {
+		t.Errorf("first reach: %d, want 2", got)
+	}
+	if got := r.EpochsToReach(0.95); got != -1 {
+		t.Errorf("never reached: %d, want -1", got)
+	}
+}

@@ -12,7 +12,7 @@
 package trainer
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"math/rand"
 	"time"
@@ -109,140 +109,54 @@ func (r *Result) EpochsToReach(acc float64) int {
 // single-process runs. All ranks must use identical Config and datasets
 // (each rank loads the full dataset and iterates its shard, as PyTorch's
 // DistributedSampler does).
+//
+// Deprecated: TrainRank is a thin shim over the Session API — the Config
+// fields map onto session options (Log, StopAtValAcc and TrackTop5 become
+// the stock WithLogger, WithStopAtValAcc and WithTop5 hooks) and the run
+// executes under context.Background. New code should build a Session and
+// call Run(ctx) for hooks and cancellation.
 func TrainRank(net *nn.Sequential, c *comm.Communicator, train, test *data.Dataset, cfg Config) (*Result, error) {
-	if cfg.Epochs <= 0 || cfg.BatchPerRank <= 0 {
-		return nil, fmt.Errorf("trainer: Epochs and BatchPerRank must be positive")
+	s, err := NewSession(net, c, train, test, sessionOptionsFromConfig(cfg)...)
+	if err != nil {
+		return nil, err
 	}
-	rank, world := 0, 1
-	if c != nil {
-		rank, world = c.Rank(), c.Size()
-	}
-	params := net.Params()
+	return s.Run(context.Background())
+}
 
-	// Horovod convention: broadcast initial weights from rank 0 so all
-	// replicas start identical regardless of construction seeds.
-	if c != nil && world > 1 {
-		for _, p := range params {
-			if err := c.Broadcast(p.Value.Data, 0); err != nil {
-				return nil, fmt.Errorf("trainer: initial broadcast: %w", err)
-			}
-		}
+// sessionOptionsFromConfig translates the legacy Config struct into the
+// equivalent session options, preserving the legacy ordering of the stock
+// hooks (log first, then the early-stop decision).
+func sessionOptionsFromConfig(cfg Config) []SessionOption {
+	opts := []SessionOption{
+		WithEpochs(cfg.Epochs),
+		WithBatchPerRank(cfg.BatchPerRank),
+		WithLRSchedule(cfg.LR),
+		WithMomentum(cfg.Momentum),
+		WithWeightDecay(cfg.WeightDecay),
+		WithLabelSmoothing(cfg.LabelSmoothing),
+		WithSeed(cfg.Seed),
+		WithAccumSteps(cfg.AccumSteps),
+		WithFusionBytes(cfg.FusionBytes),
 	}
-
-	opt := optim.NewSGD(params, cfg.LR.At(0), cfg.Momentum, cfg.WeightDecay, false)
-	var prec *kfac.Preconditioner
 	if cfg.KFAC != nil {
-		// The K-FAC options (including the step engine) pass through as-is.
-		// Under kfac.EnginePipelined the preconditioner issues overlapping
-		// async collectives inside Step; that is safe here because every
-		// rank builds the identical model (so the per-layer schedule is
-		// deterministic and identical) and the trainer performs no other
-		// collective between Step's entry and return — the SPMD ordering
-		// contract of docs/ARCHITECTURE.md.
-		prec = kfac.New(net, c, *cfg.KFAC)
-		defer prec.Close()
+		opts = append(opts, WithKFACOptions(*cfg.KFAC))
 	}
-	ce := nn.CrossEntropy{Smoothing: cfg.LabelSmoothing}
-	sampler := data.ShardSampler{N: train.Len(), Rank: rank, World: world, Seed: cfg.Seed}
-
-	res := &Result{}
-	if prec != nil {
-		res.KFACStats = prec.Stats()
+	if cfg.DampingSchedule != nil {
+		opts = append(opts, WithDampingSchedule(cfg.DampingSchedule))
 	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochStart := time.Now()
-		lr := cfg.LR.At(epoch)
-		opt.SetLR(lr)
-		if prec != nil {
-			if cfg.DampingSchedule != nil {
-				prec.SetDamping(cfg.DampingSchedule.At(epoch))
-			}
-			if cfg.FreqSchedule != nil {
-				prec.SetInvUpdateFreq(int(cfg.FreqSchedule.At(epoch) + 0.5))
-			}
-		}
-
-		accum := cfg.AccumSteps
-		if accum < 1 {
-			accum = 1
-		}
-		batches := data.Batches(train, sampler.EpochIndices(epoch), cfg.BatchPerRank)
-		// Truncate to a whole number of accumulation groups.
-		batches = batches[:len(batches)/accum*accum]
-		var lossSum, accSum float64
-		for bi := 0; bi < len(batches); bi += accum {
-			nn.ZeroGrads(net)
-			for k := 0; k < accum; k++ {
-				b := batches[bi+k]
-				out := net.Forward(b.X, true)
-				loss, grad := ce.Loss(out, b.Labels)
-				lossSum += loss / float64(accum)
-				accSum += nn.Accuracy(out, b.Labels) / float64(accum)
-				net.Backward(grad)
-			}
-			if accum > 1 {
-				inv := 1 / float64(accum)
-				for _, p := range params {
-					p.Grad.Scale(inv)
-				}
-			}
-
-			// Gradient exchange (optimizer.synchronize() in Listing 1).
-			if c != nil && world > 1 {
-				fu := comm.NewFuser(c, cfg.FusionBytes)
-				for _, p := range params {
-					fu.Add(p.Grad)
-				}
-				if err := fu.Flush(); err != nil {
-					return nil, fmt.Errorf("trainer: gradient allreduce: %w", err)
-				}
-			}
-			// preconditioner.step() before optimizer.step().
-			if prec != nil {
-				if err := prec.Step(lr); err != nil {
-					return nil, fmt.Errorf("trainer: kfac step: %w", err)
-				}
-			}
-			opt.Step()
-			res.Iterations++
-		}
-
-		st := EpochStats{Epoch: epoch, LR: lr}
-		if groups := len(batches) / accum; groups > 0 {
-			st.TrainLoss = lossSum / float64(groups)
-			st.TrainAcc = accSum / float64(groups)
-		}
-		// Average the per-rank training metrics so logs agree across ranks.
-		if c != nil && world > 1 {
-			buf := []float64{st.TrainLoss, st.TrainAcc}
-			if err := c.AllreduceMean(buf); err != nil {
-				return nil, err
-			}
-			st.TrainLoss, st.TrainAcc = buf[0], buf[1]
-		}
-		va, top5, err := evaluateTopK(net, c, test, cfg.BatchPerRank, cfg.Seed, cfg.TrackTop5)
-		if err != nil {
-			return nil, err
-		}
-		st.ValAcc = va
-		st.ValTop5 = top5
-		st.Wall = time.Since(epochStart)
-		res.TotalWall += st.Wall
-		res.History = append(res.History, st)
-		if va > res.BestValAcc {
-			res.BestValAcc = va
-		}
-		res.FinalValAcc = va
-		if cfg.Log != nil && rank == 0 {
-			fmt.Fprintf(cfg.Log, "epoch %3d  lr %.4f  loss %.4f  train-acc %.4f  val-acc %.4f  (%.1fs)\n",
-				epoch, lr, st.TrainLoss, st.TrainAcc, st.ValAcc, st.Wall.Seconds())
-		}
-		if cfg.StopAtValAcc > 0 && va >= cfg.StopAtValAcc {
-			res.Stopped = true
-			break
-		}
+	if cfg.FreqSchedule != nil {
+		opts = append(opts, WithFreqSchedule(cfg.FreqSchedule))
 	}
-	return res, nil
+	if cfg.TrackTop5 {
+		opts = append(opts, WithTop5())
+	}
+	if cfg.Log != nil {
+		opts = append(opts, WithLogger(cfg.Log))
+	}
+	if cfg.StopAtValAcc > 0 {
+		opts = append(opts, WithStopAtValAcc(cfg.StopAtValAcc))
+	}
+	return opts
 }
 
 // Evaluate computes validation accuracy over test, sharded across ranks and
@@ -288,30 +202,12 @@ func evaluateTopK(net *nn.Sequential, c *comm.Communicator, test *data.Dataset,
 // fabric and trains them in parallel, returning every rank's Result. buildNet
 // is called once per rank with a rank-independent seed so replicas start
 // identical (the initial broadcast enforces it regardless).
+//
+// Deprecated: RunDistributed is a thin shim over RunSessions (the Session
+// API's multi-rank runner) under context.Background; new code should call
+// RunSessions for hooks and cancellation.
 func RunDistributed(world int, buildNet func(rng *rand.Rand) *nn.Sequential,
 	train, test *data.Dataset, cfg Config) ([]*Result, error) {
-	if world < 1 {
-		return nil, fmt.Errorf("trainer: world must be ≥ 1")
-	}
-	fab := comm.NewInprocFabric(world)
-	results := make([]*Result, world)
-	errs := make([]error, world)
-	done := make(chan int, world)
-	for r := 0; r < world; r++ {
-		go func(r int) {
-			defer func() { done <- r }()
-			net := buildNet(rand.New(rand.NewSource(12345)))
-			c := comm.NewCommunicator(fab.Endpoint(r))
-			results[r], errs[r] = TrainRank(net, c, train, test, cfg)
-		}(r)
-	}
-	for i := 0; i < world; i++ {
-		<-done
-	}
-	for r, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("rank %d: %w", r, err)
-		}
-	}
-	return results, nil
+	return RunSessions(context.Background(), world, buildNet, train, test,
+		sessionOptionsFromConfig(cfg)...)
 }
