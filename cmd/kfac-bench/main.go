@@ -5,6 +5,7 @@
 //	kfac-bench -list              # show all experiment IDs
 //	kfac-bench -exp table1        # run one experiment
 //	kfac-bench -exp pipeline      # pipelined vs synchronous step-engine profile
+//	kfac-bench -exp chaos         # step-time degradation vs injected latency
 //	kfac-bench -all               # run everything
 //	kfac-bench -all -quick        # smoke-test scale (seconds instead of minutes)
 //

@@ -9,6 +9,13 @@
 //	kfac-train -optimizer kfac -engine pipelined -world 4
 //	kfac-train -optimizer sgd -epochs 12 -batch 64
 //	kfac-train -optimizer kfac -strategy layerwise -inv-freq 20
+//	kfac-train -world 4 -chaos -chaos-latency 500us -chaos-drop 0.05
+//
+// The -chaos flags wrap the in-process fabric in a fault-injecting
+// transport (comm.ChaosTransport): seed-replayable per-message latency,
+// dropped-and-retried messages, and bandwidth caps, with per-rank delivery
+// metrics printed at the end. Latency-only schedules leave results
+// bit-identical to a clean run — only the timing moves.
 //
 // Interrupting the run (SIGINT/SIGTERM) cancels it cleanly: every rank
 // stops at the same iteration boundary and the partial results are
@@ -26,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/kfac"
 	"repro/internal/models"
@@ -50,6 +58,12 @@ func main() {
 		width     = flag.Int("width", 8, "model width (ResNet stem channels)")
 		blocks    = flag.Int("blocks", 1, "residual blocks per stage")
 		seed      = flag.Int64("seed", 42, "random seed")
+
+		chaosOn   = flag.Bool("chaos", false, "inject transport faults (requires -world > 1)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "chaos schedule seed (same seed replays the same faults)")
+		chaosLat  = flag.Duration("chaos-latency", 200*time.Microsecond, "max injected per-message latency")
+		chaosDrop = flag.Float64("chaos-drop", 0, "per-attempt message drop probability (retried, bounded)")
+		chaosBW   = flag.Float64("chaos-bandwidth", 0, "per-message bandwidth cap in bytes/sec (0 = uncapped)")
 	)
 	flag.Parse()
 
@@ -108,17 +122,34 @@ func main() {
 		6**blocks+2, *width, nn.ParamCount(build(rand.New(rand.NewSource(*seed)))),
 		*optimizer, *engine, *world)
 
+	var chaosFab *comm.ChaosFabric
 	var res *trainer.Result
 	var err error
 	if *world == 1 {
+		if *chaosOn {
+			fmt.Fprintln(os.Stderr, "-chaos needs -world > 1 (a single rank has no transport to disturb)")
+			os.Exit(2)
+		}
 		var s *trainer.Session
 		s, err = trainer.NewSession(build(rand.New(rand.NewSource(*seed))), nil, train, test, opts...)
 		if err == nil {
 			res, err = s.Run(ctx)
 		}
 	} else {
+		var fab comm.Fabric = comm.NewInprocFabric(*world)
+		if *chaosOn {
+			chaosFab = comm.NewChaosFabric(fab, *world, comm.ChaosConfig{
+				Seed:         *chaosSeed,
+				MaxLatency:   *chaosLat,
+				DropRate:     *chaosDrop,
+				BandwidthBps: *chaosBW,
+			})
+			fab = chaosFab
+			fmt.Printf("chaos: seed %d, latency ≤ %v, drop %.1f%%, bandwidth %s\n",
+				*chaosSeed, *chaosLat, *chaosDrop*100, bwString(*chaosBW))
+		}
 		var all []*trainer.Result
-		all, err = trainer.RunSessions(ctx, *world, build, train, test, opts...)
+		all, err = trainer.RunSessionsOn(ctx, fab, *world, build, train, test, opts...)
 		if len(all) > 0 {
 			res = all[0] // rank 0's result; partial under cancellation
 		}
@@ -126,15 +157,46 @@ func main() {
 	if errors.Is(err, context.Canceled) {
 		fmt.Println("interrupted: run cancelled cleanly at an iteration boundary")
 		if res == nil {
+			if chaosFab != nil {
+				printChaosMetrics(chaosFab, *world)
+			}
 			os.Exit(130)
 		}
 	} else if err != nil {
 		fmt.Fprintln(os.Stderr, "training failed:", err)
+		// The delivery counters are most useful exactly when chaos broke
+		// the run (e.g. a drop-exhausted send): print them before exiting.
+		if chaosFab != nil {
+			printChaosMetrics(chaosFab, *world)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("done: best val %.2f%%, final val %.2f%%, %d iterations\n",
 		res.BestValAcc*100, res.FinalValAcc*100, res.Iterations)
 	printKFACProfile(res)
+	if chaosFab != nil {
+		printChaosMetrics(chaosFab, *world)
+	}
+}
+
+// bwString formats a bandwidth cap for the chaos banner.
+func bwString(bps float64) string {
+	if bps <= 0 {
+		return "uncapped"
+	}
+	return fmt.Sprintf("%.0f B/s", bps)
+}
+
+// printChaosMetrics reports the per-rank delivery counters the chaos
+// transport collected.
+func printChaosMetrics(fab *comm.ChaosFabric, world int) {
+	fmt.Println("chaos delivery metrics:")
+	for r := 0; r < world; r++ {
+		m := fab.Metrics(r)
+		fmt.Printf("  rank %d: sent %d (%.1f MB), recv %d, dropped %d, retried %d, injected delay %v\n",
+			r, m.Sent, float64(m.Bytes)/1e6, m.Received, m.Dropped, m.Retried,
+			m.InjectedDelay.Round(time.Millisecond))
+	}
 }
 
 // printKFACProfile reports the preconditioner's measured stage profile and,

@@ -52,26 +52,45 @@ func main() {
 	flag.Parse()
 
 	if *rank < 0 {
-		spawnLocalWorld(*world)
+		if err := spawnLocalWorld(*world); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
-	runRank(*rank, strings.Split(*addrs, ","))
+	// Run the rank through a function that returns instead of calling
+	// log.Fatal, so the deferred transport Close always executes: an early
+	// error (failed join, training failure) must not strand the listener
+	// or the per-peer reader goroutines while the process lingers.
+	if err := runRank(*rank, strings.Split(*addrs, ",")); err != nil {
+		log.Fatalf("rank %d: %v", *rank, err)
+	}
 }
 
 // spawnLocalWorld reserves loopback ports and re-executes this binary once
-// per rank, streaming rank 0's output.
-func spawnLocalWorld(world int) {
+// per rank, streaming rank 0's output. If any rank fails — including
+// failing to start — every other rank is terminated before returning, so
+// an early error never leaves orphan processes holding ports.
+func spawnLocalWorld(world int) error {
 	addrs := make([]string, world)
 	for i := range addrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		addrs[i] = ln.Addr().String()
 		ln.Close()
 	}
 	fmt.Printf("spawning %d local ranks: %v\n", world, addrs)
-	procs := make([]*exec.Cmd, world)
+	procs := make([]*exec.Cmd, 0, world)
+	// killExcept terminates every started rank but `except` (-1 = all).
+	// Kill on an already-exited process is a no-op.
+	killExcept := func(except int) {
+		for q, p := range procs {
+			if q != except && p.Process != nil {
+				_ = p.Process.Kill()
+			}
+		}
+	}
 	for r := 0; r < world; r++ {
 		cmd := exec.Command(os.Args[0],
 			"-rank", fmt.Sprint(r), "-addrs", strings.Join(addrs, ","))
@@ -80,27 +99,40 @@ func spawnLocalWorld(world int) {
 			cmd.Stderr = os.Stderr
 		}
 		if err := cmd.Start(); err != nil {
-			log.Fatalf("spawn rank %d: %v", r, err)
+			killExcept(-1)
+			for _, p := range procs {
+				_ = p.Wait()
+			}
+			return fmt.Errorf("spawn rank %d: %v", r, err)
 		}
-		procs[r] = cmd
+		procs = append(procs, cmd)
 	}
+	var firstErr error
 	for r, p := range procs {
-		if err := p.Wait(); err != nil {
-			log.Fatalf("rank %d failed: %v", r, err)
+		if err := p.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d failed: %v", r, err)
+			// Siblings of a dead rank block forever in collectives; put
+			// them down rather than hanging the parent (the loop reaps
+			// them on its remaining iterations).
+			killExcept(r)
 		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	fmt.Println("all ranks finished")
+	return nil
 }
 
 // runRank joins the TCP world and trains with distributed K-FAC under a
 // signal-cancelled context.
-func runRank(rank int, addrs []string) {
+func runRank(rank int, addrs []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	fab, err := comm.NewTCPFabric(rank, addrs, 10*time.Second)
 	if err != nil {
-		log.Fatalf("rank %d: %v", rank, err)
+		return err
 	}
 	defer fab.Close()
 	c := comm.NewCommunicator(fab)
@@ -131,7 +163,7 @@ func runRank(rank int, addrs []string) {
 	}
 	s, err := trainer.NewSession(net, c, train, test, opts...)
 	if err != nil {
-		log.Fatalf("rank %d: %v", rank, err)
+		return err
 	}
 	res, err := s.Run(ctx)
 	if errors.Is(err, context.Canceled) {
@@ -139,13 +171,14 @@ func runRank(rank int, addrs []string) {
 			fmt.Printf("rank 0: interrupted after %d iterations; all ranks stopped at the same boundary\n",
 				res.Iterations)
 		}
-		return
+		return nil
 	}
 	if err != nil {
-		log.Fatalf("rank %d training: %v", rank, err)
+		return fmt.Errorf("training: %w", err)
 	}
 	if rank == 0 {
 		fmt.Printf("rank 0: final val acc %.2f%% over %d iterations\n",
 			res.FinalValAcc*100, res.Iterations)
 	}
+	return nil
 }

@@ -31,10 +31,22 @@ type Entry struct {
 }
 
 // File is the serialized checkpoint.
+//
+// Checkpoints are world-size agnostic by construction: only replica state
+// (parameters, buffers, training progress) is stored — never rank- or
+// world-derived state such as data-shard indices or K-FAC factor
+// placement. A checkpoint written by an N-rank run therefore restores
+// into an M-rank run unchanged; the restoring trainer rebuilds its shard
+// sampler and re-runs factor placement for its own world size (the
+// elastic recovery path relies on this, see trainer.RunElastic).
 type File struct {
 	Version int
-	// Epoch and Step record training progress for resumption.
+	// Epoch and Step record training progress for resumption: Epoch is the
+	// number of *completed* epochs, Step the optimizer-step count so far.
 	Epoch, Step int
+	// World optionally records the world size that wrote the checkpoint —
+	// informational only (restore never requires it to match).
+	World int
 	// Params are the model parameters keyed by Param.Name order.
 	Params []Entry
 	// Buffers are the model's non-trainable state tensors (BatchNorm

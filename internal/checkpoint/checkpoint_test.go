@@ -132,3 +132,38 @@ func TestSnapshotTrainedStateDiffers(t *testing.T) {
 	}
 	var _ nn.Layer = m
 }
+
+// TestRestoreAcrossWorldSizes: a checkpoint written at one world size must
+// restore at any other — only replica state is stored, never rank- or
+// world-derived state. This is the contract the elastic trainer's resized
+// recovery relies on.
+func TestRestoreAcrossWorldSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := models.BuildSmallCNN(1, 6, 4, rng)
+	f := Snapshot(src, 3, 40)
+	f.World = 8 // written by an 8-rank run
+
+	path := filepath.Join(t.TempDir(), "world.ckpt")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.World != 8 || g.Epoch != 3 || g.Step != 40 {
+		t.Fatalf("metadata %d/%d/%d, want world 8, epoch 3, step 40", g.World, g.Epoch, g.Step)
+	}
+	// "The 2-rank survivor restores the 8-rank checkpoint": nothing about
+	// the restore consults World.
+	dst := models.BuildSmallCNN(1, 6, 4, rand.New(rand.NewSource(10)))
+	if err := g.Restore(dst); err != nil {
+		t.Fatalf("restore at a different world size: %v", err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if !sp[i].Value.Equal(dp[i].Value, 0) {
+			t.Fatalf("parameter %s differs after cross-world restore", sp[i].Name)
+		}
+	}
+}

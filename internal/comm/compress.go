@@ -61,7 +61,14 @@ func (Float16Codec) Encode(src []float64) []float64 {
 
 // Decode implements Codec.
 func (Float16Codec) Decode(payload []float64, n int) ([]float64, error) {
-	if len(payload) < (n+3)/4 {
+	if n < 0 {
+		return nil, fmt.Errorf("comm: float16 decode with negative length %d", n)
+	}
+	// Bound n by the payload before any arithmetic on it: n near MaxInt
+	// would wrap (n+3)/4 negative and defeat a ceil-division guard. This
+	// single comparison is the full check — n ≤ 4·len(payload) is exactly
+	// "the payload has a half-slot for every requested element".
+	if n > 4*len(payload) {
 		return nil, fmt.Errorf("comm: float16 payload too short: %d words for n=%d", len(payload), n)
 	}
 	out := make([]float64, n)
@@ -120,7 +127,13 @@ func float16ToFloat64(h uint16) float64 {
 		return sign * mant * math.Pow(2, -24)
 	case 31:
 		if mant != 0 {
-			return math.NaN()
+			// Preserve the sign bit so encode∘decode is a fixed point on
+			// NaN payloads too (found by FuzzFloat16VectorRoundTrip).
+			nan := math.NaN()
+			if h&0x8000 != 0 {
+				nan = math.Float64frombits(math.Float64bits(nan) | 1<<63)
+			}
+			return nan
 		}
 		return sign * math.Inf(1)
 	default:
@@ -181,20 +194,33 @@ func (c TopKCodec) Encode(src []float64) []float64 {
 
 // Decode implements Codec.
 func (c TopKCodec) Decode(payload []float64, n int) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("comm: top-k decode with negative length %d", n)
+	}
+	if n > math.MaxInt/8 {
+		// The output would overflow the allocator's byte count; a request
+		// this size is corrupt, not large.
+		return nil, fmt.Errorf("comm: top-k decode length %d too large", n)
+	}
 	if len(payload) < 1 {
 		return nil, fmt.Errorf("comm: empty top-k payload")
 	}
-	k := int(payload[0])
-	if len(payload) < 1+2*k {
-		return nil, fmt.Errorf("comm: top-k payload truncated: %d < %d", len(payload), 1+2*k)
+	// The count word is attacker-controlled on a real wire: reject anything
+	// that is not an exact non-negative integer small enough for the
+	// payload it claims to describe (a huge count would overflow 1+2*k and
+	// turn the bound check into an out-of-range read).
+	kf := payload[0]
+	if math.IsNaN(kf) || kf != math.Trunc(kf) || kf < 0 || kf > float64((len(payload)-1)/2) {
+		return nil, fmt.Errorf("comm: top-k payload has invalid count %v for %d words", kf, len(payload))
 	}
+	k := int(kf)
 	out := make([]float64, n)
 	for i := 0; i < k; i++ {
-		j := int(payload[1+2*i])
-		if j < 0 || j >= n {
-			return nil, fmt.Errorf("comm: top-k index %d out of range %d", j, n)
+		jf := payload[1+2*i]
+		if math.IsNaN(jf) || jf != math.Trunc(jf) || jf < 0 || jf >= float64(n) {
+			return nil, fmt.Errorf("comm: top-k index %v out of range %d", jf, n)
 		}
-		out[j] = payload[2+2*i]
+		out[int(jf)] = payload[2+2*i]
 	}
 	return out, nil
 }

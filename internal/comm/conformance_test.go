@@ -1,0 +1,316 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/testenv"
+)
+
+// SPMD conformance suite: every collective — synchronous, fused, and async
+// — must produce identical results on every rank, equal to an
+// independently computed reference, for world sizes 1–8, while a
+// ChaosTransport injects latency (which reorders deliveries across tags)
+// and retried drops. Inputs are small integers so all reductions are exact
+// in float64 and "identical" means bit-identical.
+//
+// This is the test the SPMD ordering contract of docs/ARCHITECTURE.md was
+// previously missing: the collectives were only exercised on a
+// well-behaved in-memory transport where messages never arrive late or
+// out of order relative to their issue.
+
+// confVec derives a deterministic small-integer vector for one rank.
+func confVec(n, rank int, seed int64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64((int(seed)*31+rank*7+i*3)%21 - 10)
+	}
+	return v
+}
+
+// confSum is the elementwise sum of every rank's confVec.
+func confSum(n, p int, seed int64) []float64 {
+	out := make([]float64, n)
+	for r := 0; r < p; r++ {
+		for i, v := range confVec(n, r, seed) {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// confOut is one rank's results for the whole collective script.
+type confOut struct {
+	sum, mean, bcast   []float64
+	gatherv            [][]float64
+	reduce             []float64 // meaningful on root only
+	rsChunk            []float64 // per-rank
+	rsOffset, rsLength int
+	gather             [][]float64 // root only
+	scatter            []float64   // per-rank
+	hier2, hier3       []float64
+	compressed         []float64
+	asyncSum           []float64
+	asyncGather        [][]float64
+	fused              [][]float64
+}
+
+// confScript runs the identical collective program on one rank. Every rank
+// must call the same collectives in the same order — the SPMD contract.
+func confScript(t *testing.T, c *Communicator, seed int64) *confOut {
+	t.Helper()
+	r, p := c.Rank(), c.Size()
+	root := int(seed) % p
+	o := &confOut{}
+	const n = 23
+
+	o.sum = confVec(n, r, seed)
+	if err := c.AllreduceSum(o.sum); err != nil {
+		t.Errorf("rank %d AllreduceSum: %v", r, err)
+		return o
+	}
+
+	o.mean = confVec(n, r, seed+1)
+	if err := c.AllreduceMean(o.mean); err != nil {
+		t.Errorf("rank %d AllreduceMean: %v", r, err)
+		return o
+	}
+
+	o.bcast = confVec(n, r, seed+2)
+	if r == root {
+		o.bcast = confVec(n, root, seed+100)
+	}
+	if err := c.Broadcast(o.bcast, root); err != nil {
+		t.Errorf("rank %d Broadcast: %v", r, err)
+		return o
+	}
+
+	var err error
+	o.gatherv, err = c.AllgatherV(confVec(r+1, r, seed+3))
+	if err != nil {
+		t.Errorf("rank %d AllgatherV: %v", r, err)
+		return o
+	}
+
+	if err := c.Barrier(); err != nil {
+		t.Errorf("rank %d Barrier: %v", r, err)
+		return o
+	}
+
+	o.reduce = confVec(n, r, seed+4)
+	if err := c.Reduce(o.reduce, root); err != nil {
+		t.Errorf("rank %d Reduce: %v", r, err)
+		return o
+	}
+
+	rsIn := confVec(n, r, seed+5)
+	o.rsChunk, err = c.ReduceScatter(rsIn)
+	if err != nil {
+		t.Errorf("rank %d ReduceScatter: %v", r, err)
+		return o
+	}
+	_, o.rsOffset, o.rsLength = c.OwnedChunk(n)
+
+	o.gather, err = c.Gather(confVec(r+2, r, seed+6), root)
+	if err != nil {
+		t.Errorf("rank %d Gather: %v", r, err)
+		return o
+	}
+
+	var chunks [][]float64
+	if r == root {
+		chunks = make([][]float64, p)
+		for i := range chunks {
+			chunks[i] = confVec(i+1, i, seed+7)
+		}
+	}
+	o.scatter, err = c.Scatter(chunks, root)
+	if err != nil {
+		t.Errorf("rank %d Scatter: %v", r, err)
+		return o
+	}
+
+	o.hier2 = confVec(n, r, seed+8)
+	if err := c.HierarchicalAllreduceMean(o.hier2, 2); err != nil {
+		t.Errorf("rank %d Hierarchical(2): %v", r, err)
+		return o
+	}
+	o.hier3 = confVec(n, r, seed+9)
+	if err := c.HierarchicalAllreduceMean(o.hier3, 3); err != nil {
+		t.Errorf("rank %d Hierarchical(3): %v", r, err)
+		return o
+	}
+
+	o.compressed = confVec(n, r, seed+10)
+	if _, err := c.CompressedAllreduceMean(o.compressed, Float16Codec{}); err != nil {
+		t.Errorf("rank %d CompressedAllreduceMean: %v", r, err)
+		return o
+	}
+
+	// Async variants, deliberately overlapped: the sum-allreduce and the
+	// allgather are in flight simultaneously, and the fused chunks launch
+	// while both are outstanding. Issue order is identical on all ranks;
+	// completion order is whatever the chaos latency makes of it.
+	o.asyncSum = confVec(n, r, seed+11)
+	h1 := c.AllreduceSumAsync(o.asyncSum)
+	gh := c.AllgatherVAsync(confVec(r+1, r, seed+12))
+
+	fu := NewFuser(c, 8*10) // tiny budget: multiple chunks in flight
+	tensors := make([]*tensor.Tensor, 3)
+	for i := range tensors {
+		tensors[i] = tensor.FromSlice(confVec(7, r, seed+13+int64(i)), 7)
+		fu.Add(tensors[i])
+	}
+	if err := fu.Flush(); err != nil {
+		t.Errorf("rank %d fused flush: %v", r, err)
+		return o
+	}
+	for _, ten := range tensors {
+		o.fused = append(o.fused, ten.Data)
+	}
+	if err := h1.Wait(); err != nil {
+		t.Errorf("rank %d async allreduce: %v", r, err)
+		return o
+	}
+	o.asyncGather, err = gh.Wait()
+	if err != nil {
+		t.Errorf("rank %d async allgather: %v", r, err)
+		return o
+	}
+	return o
+}
+
+// checkEqual asserts bit-identical float slices.
+func checkEqual(t *testing.T, what string, rank int, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s rank %d: length %d, want %d", what, rank, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s rank %d: elem %d = %v, want %v", what, rank, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// confReferenceMean replicates AllreduceMean's arithmetic: exact integer
+// sum, then one multiply by 1/p.
+func confReferenceMean(n, p int, seed int64) []float64 {
+	out := confSum(n, p, seed)
+	inv := 1 / float64(p)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+func runConformance(t *testing.T, p int, seed int64, cfg ChaosConfig) {
+	t.Helper()
+	fab := NewChaosFabric(NewInprocFabric(p), p, cfg)
+	outs := make([]*confOut, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			outs[r] = confScript(t, NewCommunicator(fab.Endpoint(r)), seed)
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	const n = 23
+	root := int(seed) % p
+
+	wantSum := confSum(n, p, seed)
+	wantMean := confReferenceMean(n, p, seed+1)
+	wantBcast := confVec(n, root, seed+100)
+	wantReduce := confSum(n, p, seed+4)
+	wantRS := confSum(n, p, seed+5)
+	wantAsync := confSum(n, p, seed+11)
+
+	// CompressedAllreduceMean accumulates dec(block_r)·1/p in rank order;
+	// small integers are exact in float16, so dec(block_r) = input_r.
+	wantComp := make([]float64, n)
+	inv := 1 / float64(p)
+	for r := 0; r < p; r++ {
+		for i, v := range confVec(n, r, seed+10) {
+			wantComp[i] += v * inv
+		}
+	}
+
+	for r := 0; r < p; r++ {
+		o := outs[r]
+		checkEqual(t, "AllreduceSum", r, o.sum, wantSum)
+		checkEqual(t, "AllreduceMean", r, o.mean, wantMean)
+		checkEqual(t, "Broadcast", r, o.bcast, wantBcast)
+		for q := 0; q < p; q++ {
+			checkEqual(t, fmt.Sprintf("AllgatherV[%d]", q), r, o.gatherv[q], confVec(q+1, q, seed+3))
+			checkEqual(t, fmt.Sprintf("AllgatherVAsync[%d]", q), r, o.asyncGather[q], confVec(q+1, q, seed+12))
+		}
+		if r == root {
+			checkEqual(t, "Reduce(root)", r, o.reduce, wantReduce)
+			for q := 0; q < p; q++ {
+				checkEqual(t, fmt.Sprintf("Gather[%d]", q), r, o.gather[q], confVec(q+2, q, seed+6))
+			}
+		} else {
+			// Non-root Reduce inputs must be left untouched.
+			checkEqual(t, "Reduce(non-root)", r, o.reduce, confVec(n, r, seed+4))
+		}
+		checkEqual(t, "ReduceScatter", r, o.rsChunk, wantRS[o.rsOffset:o.rsOffset+o.rsLength])
+		checkEqual(t, "Scatter", r, o.scatter, confVec(r+1, r, seed+7))
+		checkEqual(t, "Hierarchical(2)", r, o.hier2, confReferenceMean(n, p, seed+8))
+		checkEqual(t, "Hierarchical(3)", r, o.hier3, confReferenceMean(n, p, seed+9))
+		checkEqual(t, "CompressedAllreduceMean", r, o.compressed, wantComp)
+		checkEqual(t, "AllreduceSumAsync", r, o.asyncSum, wantAsync)
+		for i := 0; i < 3; i++ {
+			checkEqual(t, fmt.Sprintf("Fused[%d]", i), r, o.fused[i], confReferenceMean(7, p, seed+13+int64(i)))
+		}
+	}
+}
+
+// TestSPMDConformanceUnderChaos runs the full collective script for world
+// sizes 1–8 under injected latency + retried drops, across several seeds
+// (property-style: the fault schedule is different for every seed, the
+// results must never be).
+func TestSPMDConformanceUnderChaos(t *testing.T) {
+	worlds := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	seeds := []int64{1, 2, 3}
+	if testenv.Short() {
+		worlds = []int{1, 2, 3, 5, 8}
+		seeds = []int64{1}
+	}
+	for _, p := range worlds {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("world=%d/seed=%d", p, seed), func(t *testing.T) {
+				t.Parallel()
+				runConformance(t, p, seed, ChaosConfig{
+					Seed:         seed,
+					MinLatency:   5 * time.Microsecond,
+					MaxLatency:   150 * time.Microsecond,
+					DropRate:     0.05,
+					MaxRetries:   25,
+					RetryBackoff: 5 * time.Microsecond,
+				})
+			})
+		}
+	}
+}
+
+// TestSPMDConformanceClean is the same script with no chaos — the control
+// that separates "collective is wrong" from "collective is wrong under
+// faults".
+func TestSPMDConformanceClean(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("world=%d", p), func(t *testing.T) {
+			t.Parallel()
+			runConformance(t, p, 5, ChaosConfig{})
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHeartbeatAllAlive: monitors over a healthy world must not declare
+// anyone dead.
+func TestHeartbeatAllAlive(t *testing.T) {
+	const p = 3
+	fab := NewInprocFabric(p)
+	cfg := HeartbeatConfig{Interval: 2 * time.Millisecond, Timeout: 60 * time.Millisecond}
+	monitors := make([]*HeartbeatMonitor, p)
+	for r := 0; r < p; r++ {
+		monitors[r] = StartHeartbeat(fab.Endpoint(r), cfg, func(rank int) {
+			t.Errorf("false positive: rank %d declared failed", rank)
+		})
+	}
+	time.Sleep(150 * time.Millisecond)
+	for _, m := range monitors {
+		if failed := m.Failed(); len(failed) != 0 {
+			t.Errorf("Failed() = %v, want none", failed)
+		}
+		m.Close()
+	}
+}
+
+// TestHeartbeatDetectsKilledRank: killing one rank must be detected by all
+// survivors within a few timeouts, exactly once each.
+func TestHeartbeatDetectsKilledRank(t *testing.T) {
+	const p = 3
+	const victim = 1
+	fab := chaosWorld(p, ChaosConfig{Seed: 2})
+	cfg := HeartbeatConfig{Interval: 2 * time.Millisecond, Timeout: 30 * time.Millisecond}
+
+	var mu sync.Mutex
+	detected := make(map[int][]int) // observer → failed ranks reported
+	monitors := make([]*HeartbeatMonitor, p)
+	for r := 0; r < p; r++ {
+		r := r
+		monitors[r] = StartHeartbeat(fab.Endpoint(r), cfg, func(rank int) {
+			mu.Lock()
+			detected[r] = append(detected[r], rank)
+			mu.Unlock()
+		})
+	}
+	time.Sleep(20 * time.Millisecond) // let the streams establish
+	fab.Kill(victim)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		ok := len(detected[0]) > 0 && len(detected[2]) > 0
+		mu.Unlock()
+		if ok || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, m := range monitors {
+		m.Close()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, observer := range []int{0, 2} {
+		if got := detected[observer]; len(got) != 1 || got[0] != victim {
+			t.Errorf("observer %d detected %v, want exactly [%d]", observer, got, victim)
+		}
+	}
+	if got := monitors[0].Failed(); len(got) != 1 || got[0] != victim {
+		t.Errorf("Failed() = %v, want [%d]", got, victim)
+	}
+}
+
+// TestHeartbeatSurvivesChaosLatency: latency and retried drops slow the
+// stream but must not trip the detector when the timeout dominates the
+// injected delays.
+func TestHeartbeatSurvivesChaosLatency(t *testing.T) {
+	const p = 2
+	fab := chaosWorld(p, ChaosConfig{
+		Seed:         9,
+		MinLatency:   50 * time.Microsecond,
+		MaxLatency:   2 * time.Millisecond,
+		DropRate:     0.2,
+		MaxRetries:   10,
+		RetryBackoff: 50 * time.Microsecond,
+	})
+	cfg := HeartbeatConfig{Interval: 2 * time.Millisecond, Timeout: 80 * time.Millisecond}
+	monitors := make([]*HeartbeatMonitor, p)
+	for r := 0; r < p; r++ {
+		monitors[r] = StartHeartbeat(fab.Endpoint(r), cfg, nil)
+	}
+	time.Sleep(200 * time.Millisecond)
+	for _, m := range monitors {
+		if failed := m.Failed(); len(failed) != 0 {
+			t.Errorf("chaos latency tripped the detector: %v", failed)
+		}
+		m.Close()
+	}
+}

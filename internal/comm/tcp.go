@@ -58,6 +58,15 @@ func NewTCPFabric(rank int, addrs []string, timeout time.Duration) (*TCPFabric, 
 	f.listener = ln
 
 	deadline := time.Now().Add(timeout)
+	// Bound the accept loop by the same deadline the dialers use. Without
+	// it a peer that never connects left Accept — and therefore this whole
+	// constructor — blocked forever, leaking the listener and every
+	// goroutine of the partially formed mesh (the tcpcluster early-error
+	// leak). With it, every construction goroutine provably terminates by
+	// the deadline and the error path can tear the mesh down.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		_ = tl.SetDeadline(deadline)
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, size)
 
@@ -72,13 +81,20 @@ func NewTCPFabric(rank int, addrs []string, timeout time.Duration) (*TCPFabric, 
 				errCh <- fmt.Errorf("comm: rank %d accept: %w", rank, err)
 				return
 			}
+			// The handshake read is deadline-bounded too: an accepted peer
+			// that never says hello (crash between dial and write, or a
+			// stray prober) must not wedge construction past its timeout.
+			_ = conn.SetReadDeadline(deadline)
 			var h hello
 			if err := binary.Read(conn, binary.LittleEndian, &h.Rank); err != nil {
+				conn.Close()
 				errCh <- fmt.Errorf("comm: rank %d handshake read: %w", rank, err)
 				return
 			}
+			_ = conn.SetReadDeadline(time.Time{}) // back to blocking for readLoop
 			peer := int(h.Rank)
 			if peer <= rank || peer >= size {
+				conn.Close()
 				errCh <- fmt.Errorf("comm: rank %d got bad hello from %d", rank, peer)
 				return
 			}
@@ -107,6 +123,7 @@ func NewTCPFabric(rank int, addrs []string, timeout time.Duration) (*TCPFabric, 
 				time.Sleep(20 * time.Millisecond)
 			}
 			if err := binary.Write(conn, binary.LittleEndian, uint32(rank)); err != nil {
+				conn.Close()
 				errCh <- fmt.Errorf("comm: rank %d handshake write: %w", rank, err)
 				return
 			}

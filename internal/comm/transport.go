@@ -43,6 +43,14 @@ type Transport interface {
 	Close() error
 }
 
+// Fabric hands out one Transport endpoint per rank. InprocFabric and
+// ChaosFabric implement it; runners that accept a Fabric (e.g.
+// trainer.RunSessionsOn) can therefore train over a fault-injected world
+// without knowing about chaos.
+type Fabric interface {
+	Endpoint(rank int) Transport
+}
+
 // message is an in-flight tagged payload.
 type message struct {
 	tag  uint64

@@ -5,6 +5,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"repro/internal/testenv"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -14,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation-placement", "ablation-fusion", "ablation-clip", "ablation-damping",
 		"ablation-updatefreq", "profile", "pipeline", "memory", "ablation-compression",
+		"chaos",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -70,8 +73,8 @@ func TestSimulatedExperimentsRun(t *testing.T) {
 // TestTrainedExperimentsQuick smoke-runs the experiments that really train
 // networks, at the smallest scale.
 func TestTrainedExperimentsQuick(t *testing.T) {
-	if testing.Short() {
-		t.Skip("trained experiments skipped in -short")
+	if testenv.Short() {
+		t.Skip("trained experiments skipped in reduced-iteration mode")
 	}
 	cfg := Config{Quick: true, Seed: 1}
 	for _, id := range []string{"table1", "fig4"} {
@@ -116,4 +119,22 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+// TestChaosExperimentQuick smoke-runs the chaos experiment (it trains real
+// 2-rank sessions under injected latency) and checks the engine-equality
+// guard held at every latency point.
+func TestChaosExperimentQuick(t *testing.T) {
+	if testenv.Short() {
+		t.Skip("chaos experiment trains networks; skipped in reduced-iteration mode")
+	}
+	e, _ := ByID("chaos")
+	var buf bytes.Buffer
+	if err := e.Run(context.Background(), &buf, Config{Quick: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pipelined ms/step") || !strings.Contains(out, "identical losses") {
+		t.Errorf("unexpected chaos experiment output:\n%s", out)
+	}
 }

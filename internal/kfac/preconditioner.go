@@ -161,6 +161,34 @@ func NewFromOptions(model nn.Layer, c *comm.Communicator, opts Options) *Precond
 	return p
 }
 
+// Rebind attaches the preconditioner to a new communicator — the elastic
+// recovery path after a rank loss rebuilds a resized world — and re-runs
+// factor placement (Algorithm 1, line 9) for the new world size. Replica
+// state survives the resize: the running-average factors and any computed
+// decompositions are identical on every rank (they are products of
+// collective averaging), so they remain valid under the new placement and
+// only factor *ownership* changes. c may be nil to shrink to a
+// single-process preconditioner.
+//
+// Rebind must not be called while a Step is in flight, and all surviving
+// ranks must call it with communicators of equal size (the usual SPMD
+// contract). Under LayerWise placement the decompositions live only on
+// the owning worker; Rebind clears them there so the next decomposition
+// update rebuilds ownership consistently instead of broadcasting from
+// stale roots.
+func (p *Preconditioner) Rebind(c *comm.Communicator) {
+	p.comm = c
+	if p.opts.Strategy == LayerWise {
+		for _, s := range p.states {
+			s.eigA, s.eigG, s.invA, s.invG = nil, nil, nil, nil
+		}
+		// Force the next Step to recompute factors and decompositions at
+		// the new ownership before any layer preconditions.
+		p.step = 0
+	}
+	p.assignWorkers()
+}
+
 // size returns the world size (1 when running without a communicator).
 func (p *Preconditioner) size() int {
 	if p.comm == nil {

@@ -1,0 +1,374 @@
+// Elastic fault-tolerant training: RunElastic supervises a multi-rank run
+// through rank failures. Each attempt (a "generation") trains a world of
+// sessions with heartbeat failure detection; when a rank dies, the
+// surviving ranks hard-abort, the supervisor rebuilds a resized world —
+// fresh communicators, re-run K-FAC factor placement, shard sampler for
+// the new rank count — and training resumes from the latest checkpoint.
+//
+// The division of labor with the cancellation contract
+// (docs/ARCHITECTURE.md): within a generation the SPMD collective
+// schedule is sacred, so failure detection is out-of-band (heartbeats)
+// and recovery is by teardown-and-rebuild, never by patching a live
+// communicator. Work since the last checkpoint is replayed, not
+// recovered; everything before it is durable.
+package trainer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+// ElasticConfig configures a fault-tolerant run.
+type ElasticConfig struct {
+	// World is the initial rank count (required, ≥ 1).
+	World int
+	// MinWorld aborts recovery when survivors drop below it (default 1).
+	MinWorld int
+	// CheckpointDir holds the recovery checkpoint (required). The latest
+	// checkpoint is kept at <dir>/elastic.ckpt, written atomically.
+	CheckpointDir string
+	// CheckpointEvery is the epoch interval between recovery checkpoints
+	// (default 1: every epoch boundary is durable).
+	CheckpointEvery int
+	// Heartbeat tunes failure detection (zero values take the
+	// comm.HeartbeatConfig defaults). The timeout bounds how long
+	// survivors block on a dead peer before recovery starts.
+	Heartbeat comm.HeartbeatConfig
+	// Fabric, when non-nil, supplies the transport for each generation —
+	// the hook through which tests and the chaos CLI inject a
+	// comm.ChaosFabric. Defaults to a fresh in-process fabric per
+	// generation.
+	Fabric func(gen, world int) comm.Fabric
+	// MaxGenerations bounds restart attempts (default World: each
+	// generation must lose at least one rank to recurse).
+	MaxGenerations int
+	// Log, when non-nil, receives one line per generation transition.
+	Log io.Writer
+}
+
+// Generation records one attempt of an elastic run.
+type Generation struct {
+	// World is the rank count this generation ran with.
+	World int
+	// StartEpoch is the epoch training (re)started at (0 for the first
+	// generation, the checkpoint's completed-epoch count afterwards).
+	StartEpoch int
+	// Failed lists the ranks (in this generation's numbering) that died.
+	// Empty for the generation that completed the run.
+	Failed []int
+}
+
+// ElasticResult is the outcome of a fault-tolerant run.
+type ElasticResult struct {
+	// Result merges rank 0's per-generation results: History holds each
+	// epoch's final (post-replay) stats in epoch order, and the scalar
+	// fields reflect the finishing generation.
+	Result *Result
+	// Generations records every attempt, in order; the last one has no
+	// failures.
+	Generations []Generation
+}
+
+// Restarts returns how many recoveries the run needed.
+func (r *ElasticResult) Restarts() int { return len(r.Generations) - 1 }
+
+func (cfg *ElasticConfig) fillDefaults() error {
+	if cfg.World < 1 {
+		return fmt.Errorf("trainer: elastic World must be ≥ 1")
+	}
+	if cfg.CheckpointDir == "" {
+		return fmt.Errorf("trainer: elastic CheckpointDir is required")
+	}
+	if cfg.MinWorld < 1 {
+		cfg.MinWorld = 1
+	}
+	if cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.MaxGenerations < 1 {
+		cfg.MaxGenerations = cfg.World
+	}
+	return nil
+}
+
+// elasticCheckpointPath is where RunElastic keeps the recovery checkpoint.
+func elasticCheckpointPath(dir string) string { return filepath.Join(dir, "elastic.ckpt") }
+
+// killErr reports whether err traces back to a chaos kill.
+func killErr(err error) bool {
+	return errors.Is(err, comm.ErrRankKilled) || errors.Is(err, comm.ErrPeerKilled)
+}
+
+// RunElastic trains to completion through rank failures. buildNet and the
+// session options carry the same contract as RunSessions (identical on
+// every rank); opts must include WithEpochs and WithBatchPerRank, and must
+// not install their own WithResume or WithCheckpointEvery (RunElastic owns
+// both). Returns the merged result once a generation completes, or the
+// first unrecoverable error (survivors below MinWorld, restart budget
+// exhausted, a non-failure training error, or outer-context cancellation).
+func RunElastic(ctx context.Context, cfg ElasticConfig, buildNet func(rng *rand.Rand) *nn.Sequential,
+	train, test *data.Dataset, opts ...SessionOption) (*ElasticResult, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+		return nil, fmt.Errorf("trainer: elastic checkpoint dir: %w", err)
+	}
+	ckptPath := elasticCheckpointPath(cfg.CheckpointDir)
+	// The recovery checkpoint belongs to THIS run: a stale file from a
+	// previous run in the same directory would silently fast-forward (or
+	// entirely skip) training. Cross-run resumption is an explicit choice —
+	// pass WithResume in opts — not an accident of directory reuse.
+	if err := os.Remove(ckptPath); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("trainer: removing stale elastic checkpoint: %w", err)
+	}
+
+	out := &ElasticResult{Result: &Result{}}
+	byEpoch := make(map[int]EpochStats) // replayed epochs: last run wins
+	world := cfg.World
+
+	for gen := 0; gen < cfg.MaxGenerations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return mergeElastic(out, byEpoch, nil), err
+		}
+		var resume *checkpoint.File
+		startEpoch := 0
+		if f, err := checkpoint.Load(ckptPath); err == nil {
+			resume, startEpoch = f, f.Epoch
+		} else if gen > 0 && cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "elastic: no checkpoint yet, generation %d restarts from scratch\n", gen)
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "elastic: generation %d, world %d, starting at epoch %d\n",
+				gen, world, startEpoch)
+		}
+
+		results, errs, dead := runGeneration(ctx, &cfg, gen, world, resume, ckptPath,
+			buildNet, train, test, opts)
+
+		g := Generation{World: world, StartEpoch: startEpoch, Failed: dead}
+		out.Generations = append(out.Generations, g)
+		if r := results[0]; r != nil {
+			for _, e := range r.History {
+				byEpoch[e.Epoch] = e
+			}
+			out.Result.TotalWall += r.TotalWall
+		}
+
+		if len(dead) == 0 {
+			// No failure: the generation either finished or hit a genuine
+			// error / outer cancellation. Prefer the originating failure
+			// over the context.Canceled it induced in peers through the
+			// hard abort — a low rank's induced Canceled must not mask the
+			// real cause on a higher rank.
+			var firstErr error
+			for _, err := range errs {
+				if err == nil {
+					continue
+				}
+				if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+					firstErr = err
+				}
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return mergeElastic(out, byEpoch, results[0]), cerr
+			}
+			if errors.Is(firstErr, ErrResumeComplete) {
+				// The checkpoint already covers every epoch — a failure
+				// landed after the final checkpoint write, so the resumed
+				// generation had nothing left to do. The run is complete.
+				return mergeElastic(out, byEpoch, results[0]), nil
+			}
+			if errors.Is(firstErr, context.Canceled) {
+				// The generation was hard-aborted without any dead-rank
+				// evidence and without outer cancellation: the failure
+				// detector fired on a live world (typically
+				// Heartbeat.Timeout below the transport's worst-case
+				// delay). Name the misfire rather than surfacing a bare
+				// context error nobody asked for.
+				return mergeElastic(out, byEpoch, results[0]),
+					fmt.Errorf("trainer: elastic generation %d aborted with no dead rank (heartbeat false positive? timeout %v): %w",
+						gen, cfg.Heartbeat.Timeout, firstErr)
+			}
+			if firstErr != nil {
+				return mergeElastic(out, byEpoch, results[0]), firstErr
+			}
+			return mergeElastic(out, byEpoch, results[0]), nil
+		}
+
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "elastic: generation %d lost rank(s) %v, resizing %d → %d\n",
+				gen, dead, world, world-len(dead))
+		}
+		world -= len(dead)
+		if world < cfg.MinWorld {
+			return mergeElastic(out, byEpoch, results[0]),
+				fmt.Errorf("trainer: elastic run below MinWorld: %d survivors < %d", world, cfg.MinWorld)
+		}
+	}
+	return mergeElastic(out, byEpoch, nil),
+		fmt.Errorf("trainer: elastic run exhausted %d generations", cfg.MaxGenerations)
+}
+
+// runGeneration runs one attempt: world sessions over a fresh fabric with
+// heartbeat monitors, any detected failure hard-aborting the generation.
+// Returns per-rank results and errors plus the ranks found dead.
+func runGeneration(ctx context.Context, cfg *ElasticConfig, gen, world int,
+	resume *checkpoint.File, ckptPath string, buildNet func(rng *rand.Rand) *nn.Sequential,
+	train, test *data.Dataset, opts []SessionOption) ([]*Result, []error, []int) {
+
+	var fab comm.Fabric
+	if cfg.Fabric != nil {
+		fab = cfg.Fabric(gen, world)
+	} else {
+		fab = comm.NewInprocFabric(world)
+	}
+	genCtx, genCancel := context.WithCancel(ctx)
+	defer genCancel()
+
+	// Endpoints and heartbeat monitors outlive the session goroutines: a
+	// rank that finishes its last epoch early keeps heartbeating while
+	// laggards validate, so generation-end stragglers are never mistaken
+	// for deaths. Any real detection hard-aborts the whole generation.
+	endpoints := make([]comm.Transport, world)
+	monitors := make([]*comm.HeartbeatMonitor, world)
+	for r := 0; r < world; r++ {
+		endpoints[r] = fab.Endpoint(r)
+		if world > 1 {
+			monitors[r] = comm.StartHeartbeat(endpoints[r], cfg.Heartbeat,
+				func(peer int) { genCancel() })
+		}
+	}
+
+	results := make([]*Result, world)
+	errs := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := comm.NewCommunicator(endpoints[r]).WithContext(genCtx)
+			ropts := make([]SessionOption, 0, len(opts)+3)
+			ropts = append(ropts, opts...)
+			if resume != nil {
+				ropts = append(ropts, WithResume(resume))
+			}
+			ropts = append(ropts,
+				WithCheckpointEvery(cfg.CheckpointEvery),
+				OnCheckpoint(func(s *Session, info CheckpointInfo) error {
+					if s.Rank() != 0 {
+						return nil
+					}
+					ck := checkpoint.Snapshot(s.Net(), info.Epoch+1, info.Iterations)
+					ck.World = s.World()
+					if err := ck.Save(ckptPath); err != nil {
+						return fmt.Errorf("elastic checkpoint: %w", err)
+					}
+					return nil
+				}))
+			net := buildNet(rand.New(rand.NewSource(12345)))
+			s, err := NewSession(net, c, train, test, ropts...)
+			if err != nil {
+				errs[r] = err
+				genCancel()
+				return
+			}
+			results[r], errs[r] = s.Run(genCtx)
+			if errs[r] != nil && !killErr(errs[r]) && !errors.Is(errs[r], context.Canceled) {
+				// A genuine training error (not a scripted death, not the
+				// abort rippling out from one): fail the generation fast.
+				genCancel()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, m := range monitors {
+		if m != nil {
+			m.Close()
+		}
+	}
+
+	// A rank is dead if the chaos layer killed it or its own error traces
+	// to its own kill (ErrPeerKilled marks a *survivor* that touched a
+	// dead peer — not a death).
+	deadSet := make(map[int]bool)
+	if killer, ok := fab.(interface{ Killed() []int }); ok {
+		for _, r := range killer.Killed() {
+			deadSet[r] = true
+		}
+	}
+	for r, err := range errs {
+		if errors.Is(err, comm.ErrRankKilled) {
+			deadSet[r] = true
+		}
+	}
+	// Heartbeat verdicts corroborate: a rank flagged silent by a monitor
+	// that is NOT itself dead counts as dead. (A killed rank's own monitor
+	// goes blind to every peer at once — its verdicts are noise and are
+	// excluded.) Only consulted when the generation actually failed; a
+	// clean finish ignores residual suspicions.
+	anyErr := false
+	for _, err := range errs {
+		if err != nil {
+			anyErr = true
+		}
+	}
+	if anyErr {
+		for r, m := range monitors {
+			if m == nil || deadSet[r] {
+				continue
+			}
+			for _, failed := range m.Failed() {
+				deadSet[failed] = true
+			}
+		}
+	}
+	dead := make([]int, 0, len(deadSet))
+	for r := range deadSet {
+		dead = append(dead, r)
+	}
+	sort.Ints(dead)
+	return results, errs, dead
+}
+
+// mergeElastic assembles the cross-generation result: the epoch history in
+// order (each epoch's stats from its final run) and the finishing
+// generation's scalar outcomes.
+func mergeElastic(out *ElasticResult, byEpoch map[int]EpochStats, last *Result) *ElasticResult {
+	epochs := make([]int, 0, len(byEpoch))
+	for e := range byEpoch {
+		epochs = append(epochs, e)
+	}
+	sort.Ints(epochs)
+	r := out.Result
+	r.History = r.History[:0]
+	for _, e := range epochs {
+		st := byEpoch[e]
+		r.History = append(r.History, st)
+		if st.ValAcc > r.BestValAcc {
+			r.BestValAcc = st.ValAcc
+		}
+		r.FinalValAcc = st.ValAcc
+	}
+	if last != nil {
+		r.Iterations = last.Iterations
+		r.Stopped = last.Stopped
+		r.KFACStats = last.KFACStats
+	}
+	return out
+}

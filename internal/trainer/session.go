@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/kfac"
@@ -22,6 +23,13 @@ import (
 // stock WithStopAtValAcc hook, satisfy this automatically) — diverging
 // decisions desynchronize the collective schedule.
 var ErrStop = errors.New("trainer: stop requested by hook")
+
+// ErrResumeComplete is returned by Run when the resume checkpoint already
+// covers every configured epoch — there is nothing left to train. Callers
+// that treat the checkpoint as authoritative (RunElastic) interpret it as
+// a clean finish; anyone else gets a loud signal instead of a silently
+// zeroed Result.
+var ErrResumeComplete = errors.New("trainer: resume checkpoint already covers all configured epochs")
 
 // StepInfo describes one completed optimizer step.
 type StepInfo struct {
@@ -79,6 +87,7 @@ type Session struct {
 	stepHooks  []StepHook
 	ckptHooks  []CheckpointHook
 	ckptEvery  int
+	resume     *checkpoint.File
 }
 
 // SessionOption configures a Session at construction. Options apply in
@@ -188,6 +197,19 @@ func WithStopAtValAcc(acc float64) SessionOption {
 			return nil
 		})
 	}
+}
+
+// WithResume starts the run from a checkpoint instead of from scratch:
+// Run restores the file's parameters and buffers into the model before the
+// initial broadcast, begins at epoch f.Epoch (the checkpoint's count of
+// completed epochs), and continues Result.Iterations from f.Step. The
+// checkpoint may have been written at any world size — restore is
+// world-size agnostic (see package checkpoint) and this session's shard
+// sampler and K-FAC placement are built for the current world. All ranks
+// must resume from an identical checkpoint (the broadcast enforces
+// replica agreement regardless).
+func WithResume(f *checkpoint.File) SessionOption {
+	return func(s *Session) { s.resume = f }
 }
 
 // WithCheckpointEvery fires the OnCheckpoint hooks after every n-th epoch
@@ -323,6 +345,19 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	c := s.comm
 	params := s.net.Params()
 
+	startEpoch, startStep := 0, 0
+	if s.resume != nil {
+		if err := s.resume.Restore(s.net); err != nil {
+			return nil, fmt.Errorf("trainer: resume: %w", err)
+		}
+		startEpoch, startStep = s.resume.Epoch, s.resume.Step
+		if startEpoch >= cfg.Epochs {
+			return &Result{Iterations: startStep},
+				fmt.Errorf("%w (checkpoint epoch %d, configured epochs %d)",
+					ErrResumeComplete, startEpoch, cfg.Epochs)
+		}
+	}
+
 	// Horovod convention: broadcast initial weights from rank 0 so all
 	// replicas start identical regardless of construction seeds.
 	if c != nil && world > 1 {
@@ -355,7 +390,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	ce := nn.CrossEntropy{Smoothing: cfg.LabelSmoothing}
 	sampler := data.ShardSampler{N: s.train.Len(), Rank: rank, World: world, Seed: cfg.Seed}
 
-	res := &Result{}
+	res := &Result{Iterations: startStep}
 	if prec != nil {
 		res.KFACStats = prec.Stats()
 	}
@@ -365,7 +400,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		}
 		return runHooks(s, s.ckptHooks, CheckpointInfo{Epoch: epoch, Iterations: res.Iterations})
 	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
 		lr := cfg.LR.At(epoch)
 		opt.SetLR(lr)
@@ -500,7 +535,27 @@ func RunSessions(ctx context.Context, world int, buildNet func(rng *rand.Rand) *
 	if world < 1 {
 		return nil, fmt.Errorf("trainer: world must be ≥ 1")
 	}
-	fab := comm.NewInprocFabric(world)
+	return RunSessionsOn(ctx, comm.NewInprocFabric(world), world, buildNet, train, test, opts...)
+}
+
+// RunSessionsOn is RunSessions over a caller-supplied fabric: one session
+// per rank on fab.Endpoint(0..world-1). This is how a run is placed on a
+// fault-injected world (comm.NewChaosFabric) or any other transport that
+// hands out per-rank endpoints; the kfac-train CLI's -chaos mode and the
+// chaos experiment both use it.
+func RunSessionsOn(ctx context.Context, fab comm.Fabric, world int, buildNet func(rng *rand.Rand) *nn.Sequential,
+	train, test *data.Dataset, opts ...SessionOption) ([]*Result, error) {
+	if world < 1 {
+		return nil, fmt.Errorf("trainer: world must be ≥ 1")
+	}
+	// abortCtx fires only when a rank fails: peers blocked mid-collective
+	// on the broken rank (reachable on fault-injecting fabrics — exhausted
+	// chaos retries, kills) are hard-aborted instead of hanging forever.
+	// It is deliberately NOT derived from the run ctx: user cancellation
+	// goes through the cooperative consensus path, which keeps the clean
+	// all-ranks-stop-together semantics and bit-identical arithmetic.
+	abortCtx, abort := context.WithCancel(context.Background())
+	defer abort()
 	results := make([]*Result, world)
 	errs := make([]error, world)
 	done := make(chan int, world)
@@ -508,22 +563,38 @@ func RunSessions(ctx context.Context, world int, buildNet func(rng *rand.Rand) *
 		go func(r int) {
 			defer func() { done <- r }()
 			net := buildNet(rand.New(rand.NewSource(12345)))
-			c := comm.NewCommunicator(fab.Endpoint(r))
+			c := comm.NewCommunicator(fab.Endpoint(r)).WithContext(abortCtx)
 			s, err := NewSession(net, c, train, test, opts...)
 			if err != nil {
 				errs[r] = err
+				abort()
 				return
 			}
 			results[r], errs[r] = s.Run(ctx)
+			if errs[r] != nil && !errors.Is(errs[r], context.Canceled) {
+				abort()
+			}
 		}(r)
 	}
 	for i := 0; i < world; i++ {
 		<-done
 	}
+	// Prefer the originating failure over the context errors it induced in
+	// peers through the abort.
+	var ctxErr error
 	for r, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled):
+			if ctxErr == nil {
+				ctxErr = fmt.Errorf("rank %d: %w", r, err)
+			}
+		default:
 			return results, fmt.Errorf("rank %d: %w", r, err)
 		}
+	}
+	if ctxErr != nil {
+		return results, ctxErr
 	}
 	return results, nil
 }
