@@ -1,4 +1,7 @@
-// Command kfac-bench regenerates the paper's tables and figures.
+// Command kfac-bench regenerates the paper's tables and figures, and — in
+// -json mode — emits the machine-readable benchmark trajectory
+// (BENCH_<scenario>.json) every performance-affecting change is measured
+// against.
 //
 // Usage:
 //
@@ -8,12 +11,15 @@
 //	kfac-bench -exp chaos         # step-time degradation vs injected latency
 //	kfac-bench -all               # run everything
 //	kfac-bench -all -quick        # smoke-test scale (seconds instead of minutes)
+//	kfac-bench -json -out bench/  # write BENCH_*.json (sync vs pipelined × model sizes)
+//	kfac-bench -json -short       # tiny-model JSON smoke run (the CI artifact job)
 //
 // Each experiment prints its table/series to stdout together with the
 // paper's reported values for comparison; see EXPERIMENTS.md for the
-// recorded paper-vs-measured summary. Interrupting the process (SIGINT/
-// SIGTERM) cancels the in-progress training runs cleanly through the
-// trainer's context plumbing.
+// recorded paper-vs-measured summary and docs/PERFORMANCE.md for the JSON
+// schema and tuning guidance. Interrupting the process (SIGINT/SIGTERM)
+// cancels the in-progress runs cleanly through the trainer's context
+// plumbing.
 package main
 
 import (
@@ -29,14 +35,45 @@ import (
 	"repro/internal/experiments"
 )
 
+// usage prints the grouped flag reference; the default flag.PrintDefaults
+// interleaves unrelated flag families alphabetically.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `kfac-bench — paper artifacts and benchmark trajectories
+
+Experiment selection:
+  -list         list experiment IDs
+  -exp ID       run one experiment (see -list)
+  -all          run every experiment
+  -quick        reduced-scale smoke runs (with -exp/-all)
+
+Benchmark JSON mode:
+  -json         run the step-engine benchmark matrix and write BENCH_<scenario>.json
+  -out DIR      output directory for BENCH_*.json (default ".")
+  -short        tiny-model matrix for CI smoke jobs (with -json)
+
+Common:
+  -seed N       random seed (default 42)
+
+Examples:
+  kfac-bench -exp table1
+  kfac-bench -all -quick
+  kfac-bench -json -out bench-artifacts
+  kfac-bench -json -short
+`)
+}
+
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment ID to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment IDs")
-		quick = flag.Bool("quick", false, "reduced-scale smoke runs")
-		seed  = flag.Int64("seed", 42, "random seed")
+		expID    = flag.String("exp", "", "experiment ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		quick    = flag.Bool("quick", false, "reduced-scale smoke runs")
+		jsonMode = flag.Bool("json", false, "emit BENCH_<scenario>.json benchmark trajectories")
+		outDir   = flag.String("out", ".", "output directory for -json results")
+		short    = flag.Bool("short", false, "tiny-model -json matrix (CI smoke)")
+		seed     = flag.Int64("seed", 42, "random seed")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -47,6 +84,14 @@ func main() {
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+	case *jsonMode:
+		paths, err := experiments.RunBenchJSON(ctx, *outDir, *short, *seed)
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		if err != nil {
+			fail("bench-json", err)
 		}
 	case *all:
 		for _, e := range experiments.All() {

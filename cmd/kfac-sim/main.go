@@ -22,6 +22,30 @@ import (
 	"repro/internal/simulate"
 )
 
+// usage prints the flag reference grouped by family, with worked examples.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `kfac-sim — query the calibrated cluster performance model
+
+Scenario:
+  -model NAME       resnet32|resnet34|resnet50|resnet101|resnet152 (default resnet50)
+  -gpus N           worker count (default 64)
+  -strategy NAME    roundrobin|layerwise|greedy factor placement
+
+K-FAC schedule:
+  -freq N           kfac-update-freq; 0 selects the paper's scale-proportional value
+  -sgd-epochs N     SGD epoch budget for the time-to-solution comparison (default 90)
+  -kfac-epochs N    K-FAC epoch budget (default 55)
+
+Output:
+  -workers          also print per-worker eigendecomposition load (min/median/max)
+
+Examples:
+  kfac-sim -model resnet50 -gpus 64
+  kfac-sim -model resnet152 -gpus 256 -freq 125 -strategy layerwise
+  kfac-sim -model resnet101 -gpus 64 -workers
+`)
+}
+
 func main() {
 	var (
 		model      = flag.String("model", "resnet50", "resnet32|resnet34|resnet50|resnet101|resnet152")
@@ -32,6 +56,7 @@ func main() {
 		kfacEpochs = flag.Int("kfac-epochs", 55, "K-FAC epoch budget")
 		workers    = flag.Bool("workers", false, "print per-worker eigendecomposition times")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	cat, err := models.CatalogByName(*model)

@@ -42,6 +42,47 @@ import (
 	"repro/internal/trainer"
 )
 
+// usage prints the flag reference grouped by family; the default
+// alphabetical PrintDefaults interleaves chaos, engine, and training knobs
+// unhelpfully.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `kfac-train — train the synthetic CIFAR stand-in with SGD or distributed K-FAC
+
+Training:
+  -optimizer {sgd,kfac}   optimizer (default kfac)
+  -world N                in-process ranks (default 1)
+  -epochs N               training epochs (default 8)
+  -batch N                mini-batch size per rank (default 32)
+  -lr F                   base learning rate per rank, scaled by world (default 0.05)
+  -width N / -blocks N    model size (ResNet stem channels / blocks per stage)
+  -seed N                 random seed (default 42)
+
+K-FAC (with -optimizer kfac):
+  -engine {sync,pipelined}             step engine; pipelined overlaps compute and comm
+  -strategy {roundrobin,layerwise,greedy}  factor placement across workers
+  -mode {eigen,inverse}                inversion path (Table I ablation)
+  -damping F                           Tikhonov damping γ (default 1e-3)
+  -inv-freq N                          eigendecomposition interval (default 10)
+  -factor-freq N                       factor update interval (default 1)
+
+Chaos injection (needs -world > 1):
+  -chaos                  enable fault injection on the in-process fabric
+  -chaos-seed N           schedule seed (same seed replays the same faults)
+  -chaos-latency D        max injected per-message latency (default 200µs)
+  -chaos-drop F           per-attempt drop probability (retried, bounded)
+  -chaos-bandwidth F      per-message bandwidth cap in bytes/sec (0 = uncapped)
+
+Examples:
+  kfac-train -optimizer kfac -world 4 -epochs 8
+  kfac-train -optimizer kfac -engine pipelined -world 4
+  kfac-train -optimizer sgd -epochs 12 -batch 64
+  kfac-train -optimizer kfac -strategy layerwise -inv-freq 20
+  kfac-train -world 4 -chaos -chaos-latency 500us -chaos-drop 0.05
+
+Tuning guidance (engine choice, staleness, fusion): docs/PERFORMANCE.md.
+`)
+}
+
 func main() {
 	var (
 		optimizer = flag.String("optimizer", "kfac", "sgd or kfac")
@@ -65,6 +106,7 @@ func main() {
 		chaosDrop = flag.Float64("chaos-drop", 0, "per-attempt message drop probability (retried, bounded)")
 		chaosBW   = flag.Float64("chaos-bandwidth", 0, "per-message bandwidth cap in bytes/sec (0 = uncapped)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,47 @@
+package comm
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// bufPools recycles the float64 payload buffers the fusion layer packs
+// tensors into, one sync.Pool per power-of-two capacity class. A fused
+// allreduce buffer lives exactly one collective: packed, reduced in place,
+// scattered back — so recycling it removes the dominant per-update
+// send/recv allocation without any lifetime ambiguity.
+var bufPools [64]sync.Pool
+
+// bufClass returns the pool index for n elements: ceil(log2(n)).
+func bufClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getBuf returns a length-n buffer with power-of-two capacity, drawn from
+// the class pool when one is available. Contents are unspecified; callers
+// fully overwrite the buffer when packing.
+func getBuf(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := bufClass(n)
+	if v := bufPools[c].Get(); v != nil {
+		return (*v.(*[]float64))[:n]
+	}
+	b := make([]float64, 1<<c)
+	return b[:n]
+}
+
+// putBuf returns a buffer obtained from getBuf to its class pool. Buffers
+// whose capacity is not a power of two (not ours) are dropped.
+func putBuf(b []float64) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	b = b[:c]
+	bufPools[bufClass(c)].Put(&b)
+}

@@ -28,6 +28,7 @@ func (ch *Chunk) Tensors() []*tensor.Tensor { return ch.tensors }
 
 // Wait blocks until the fused allreduce completes, scatters the averaged
 // buffer back into the source tensors, and returns the operation's error.
+// On success the packed buffer is recycled into the fusion buffer pool.
 func (ch *Chunk) Wait() error {
 	ch.once.Do(func() {
 		if err := ch.h.Wait(); err != nil {
@@ -39,6 +40,8 @@ func (ch *Chunk) Wait() error {
 			copy(t.Data, ch.buf[off:off+t.Len()])
 			off += t.Len()
 		}
+		putBuf(ch.buf)
+		ch.buf = nil
 	})
 	return ch.err
 }
@@ -92,7 +95,8 @@ func (f *Fuser) launch() {
 	for _, t := range f.pending {
 		total += t.Len()
 	}
-	buf := make([]float64, total)
+	// Drawn from the shared pool; returned by Chunk.Wait after scatter.
+	buf := getBuf(total)
 	off := 0
 	for _, t := range f.pending {
 		copy(buf[off:], t.Data)

@@ -1,0 +1,243 @@
+// Benchmark-trajectory harness: kfac-bench's -json mode. Each scenario
+// (model size × step engine) runs a single-process training loop with real
+// forward/backward and K-FAC steps, measuring wall time per step, the
+// preconditioner's stage profile and pipeline overlap, and heap
+// allocations/bytes per step — both over a realistic update mix and in the
+// stale-decomposition steady state. Results are written as one
+// schema-stable BENCH_<scenario>.json per scenario so every future change
+// has a recorded trajectory to regress against (CI uploads the JSON of a
+// -short run as an artifact and gates on parseability, not timings).
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/kfac"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// BenchSchema identifies the BENCH_*.json layout. Bump only with a
+// migration note in docs/PERFORMANCE.md; downstream tooling (CI artifact
+// gate, trend plots) keys on it.
+const BenchSchema = "kfac-bench/v1"
+
+// BenchResult is the JSON record one benchmark scenario emits. All
+// durations are nanoseconds; alloc metrics are per executed step.
+type BenchResult struct {
+	Schema   string `json:"schema"`
+	Scenario string `json:"scenario"` // "<model>_<engine>"
+	Model    string `json:"model"`
+	Engine   string `json:"engine"`
+	// Environment, for comparing trajectories across hosts.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Params     int    `json:"params"`
+	KFACLayers int    `json:"kfac_layers"`
+	BatchSize  int    `json:"batch_size"`
+
+	// Mixed phase: FactorUpdateFreq/InvUpdateFreq as configured, so steps
+	// amortize factor and decomposition updates the way training does.
+	Steps            int     `json:"steps"`
+	FactorUpdateFreq int     `json:"factor_update_freq"`
+	InvUpdateFreq    int     `json:"inv_update_freq"`
+	StepTimeMeanNS   int64   `json:"step_time_mean_ns"`
+	StepTimeMinNS    int64   `json:"step_time_min_ns"`
+	StepTimeMaxNS    int64   `json:"step_time_max_ns"`
+	AllocsPerStep    float64 `json:"allocs_per_step"`
+	BytesPerStep     float64 `json:"bytes_per_step"`
+
+	// Stage profile accumulated over the mixed phase (preconditioner's
+	// StageStats), plus the pipelined engine's overlap estimate.
+	FactorComputeNS int64 `json:"factor_compute_ns"`
+	FactorCommNS    int64 `json:"factor_comm_ns"`
+	EigComputeNS    int64 `json:"eig_compute_ns"`
+	EigCommNS       int64 `json:"eig_comm_ns"`
+	PreconditionNS  int64 `json:"precondition_ns"`
+	OverlapNS       int64 `json:"overlap_ns"`
+
+	// Steady phase: stale decompositions only (the common iteration).
+	SteadySteps         int     `json:"steady_steps"`
+	SteadyStepTimeNS    int64   `json:"steady_step_time_mean_ns"`
+	SteadyAllocsPerStep float64 `json:"steady_allocs_per_step"`
+	SteadyBytesPerStep  float64 `json:"steady_bytes_per_step"`
+}
+
+// benchScenario is one (model, engine) cell of the benchmark matrix.
+type benchScenario struct {
+	model   string
+	blocks  int
+	width   int
+	batch   int
+	steps   int
+	engines []kfac.Engine
+}
+
+// benchMatrix returns the scenario list: -short runs one tiny model for the
+// CI smoke job; the full matrix covers small/medium/large against both
+// engines.
+func benchMatrix(short bool) []benchScenario {
+	engines := []kfac.Engine{kfac.EngineSync, kfac.EnginePipelined}
+	if short {
+		return []benchScenario{{model: "tiny", blocks: 1, width: 4, batch: 4, steps: 6, engines: engines}}
+	}
+	return []benchScenario{
+		{model: "small", blocks: 1, width: 8, batch: 8, steps: 20, engines: engines},
+		{model: "medium", blocks: 2, width: 16, batch: 8, steps: 20, engines: engines},
+		{model: "large", blocks: 3, width: 32, batch: 8, steps: 10, engines: engines},
+	}
+}
+
+// RunBenchJSON executes the benchmark matrix and writes one
+// BENCH_<scenario>.json per scenario into outDir, returning the file
+// paths. Scenarios respect ctx cancellation between steps.
+func RunBenchJSON(ctx context.Context, outDir string, short bool, seed int64) ([]string, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, sc := range benchMatrix(short) {
+		for _, engine := range sc.engines {
+			res, err := runBenchScenario(ctx, sc, engine, seed)
+			if err != nil {
+				return paths, fmt.Errorf("bench %s_%s: %w", sc.model, engine, err)
+			}
+			path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", res.Scenario))
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return paths, err
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return paths, err
+			}
+			paths = append(paths, path)
+		}
+	}
+	return paths, nil
+}
+
+// runBenchScenario measures one scenario. The model trains on synthetic
+// data with a fixed seed, so repeated runs measure the same computation.
+func runBenchScenario(ctx context.Context, sc benchScenario, engine kfac.Engine, seed int64) (*BenchResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	net := models.BuildCIFARResNet(sc.blocks, sc.width, 3, 10, rng)
+	nn.SetBufferReuse(net, true)
+	const facFreq, invFreq = 5, 10
+	prec := kfac.NewFromOptions(net, nil, kfac.Options{
+		FactorUpdateFreq: facFreq, InvUpdateFreq: invFreq, Damping: 1e-3, Engine: engine,
+	})
+	defer prec.Close()
+
+	res := &BenchResult{
+		Schema:     BenchSchema,
+		Scenario:   fmt.Sprintf("%s_%s", sc.model, engine),
+		Model:      sc.model,
+		Engine:     engine.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Params:     nn.ParamCount(net),
+		KFACLayers: prec.NumLayers(),
+		BatchSize:  sc.batch,
+
+		Steps:            sc.steps,
+		FactorUpdateFreq: facFreq,
+		InvUpdateFreq:    invFreq,
+	}
+
+	ce := nn.CrossEntropy{}
+	x := tensor.Randn(rng, 1, sc.batch, 3, 16, 16)
+	labels := make([]int, sc.batch)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	params := net.Params() // cached: Params() rebuilds its slice every call
+	step := func() error {
+		out := net.Forward(x, true)
+		_, grad := ce.Loss(out, labels)
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		net.Backward(grad)
+		return prec.Step(0.1)
+	}
+
+	// Warmup: settles every reuse workspace and runs the first factor +
+	// decomposition update.
+	for i := 0; i < 2; i++ {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Mixed phase.
+	statsBefore := prec.Stats().Snapshot()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	var total, min, max time.Duration
+	for i := 0; i < sc.steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if err := step(); err != nil {
+			return nil, err
+		}
+		d := time.Since(t0)
+		total += d
+		if min == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	statsAfter := prec.Stats().Snapshot()
+
+	res.StepTimeMeanNS = int64(total) / int64(sc.steps)
+	res.StepTimeMinNS = int64(min)
+	res.StepTimeMaxNS = int64(max)
+	res.AllocsPerStep = float64(ms1.Mallocs-ms0.Mallocs) / float64(sc.steps)
+	res.BytesPerStep = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(sc.steps)
+	res.FactorComputeNS = int64(statsAfter.FactorCompute - statsBefore.FactorCompute)
+	res.FactorCommNS = int64(statsAfter.FactorComm - statsBefore.FactorComm)
+	res.EigComputeNS = int64(statsAfter.EigCompute - statsBefore.EigCompute)
+	res.EigCommNS = int64(statsAfter.EigComm - statsBefore.EigComm)
+	res.PreconditionNS = int64(statsAfter.Precondition - statsBefore.Precondition)
+	overlapBefore := statsBefore.PipelineWork - statsBefore.PipelineWall
+	overlapAfter := statsAfter.PipelineWork - statsAfter.PipelineWall
+	if d := overlapAfter - overlapBefore; d > 0 {
+		res.OverlapNS = int64(d)
+	}
+
+	// Steady phase: freeze updates so every step is stale-decomposition
+	// preconditioning only — the zero-allocation hot path.
+	prec.SetFactorUpdateFreq(1 << 30)
+	prec.SetInvUpdateFreq(1 << 30)
+	if err := step(); err != nil { // re-settle after the frequency change
+		return nil, err
+	}
+	steadySteps := sc.steps
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for i := 0; i < steadySteps; i++ {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	steadyTotal := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	res.SteadySteps = steadySteps
+	res.SteadyStepTimeNS = int64(steadyTotal) / int64(steadySteps)
+	res.SteadyAllocsPerStep = float64(ms1.Mallocs-ms0.Mallocs) / float64(steadySteps)
+	res.SteadyBytesPerStep = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(steadySteps)
+	return res, nil
+}

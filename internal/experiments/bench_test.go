@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunBenchJSONSchemaStable runs the -short benchmark matrix into a
+// temp dir and verifies every emitted file parses and carries the
+// documented kfac-bench/v1 fields — the same gate the CI bench-smoke job
+// applies to its artifact.
+func TestRunBenchJSONSchemaStable(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := RunBenchJSON(context.Background(), dir, true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 { // tiny × {sync, pipelined}
+		t.Fatalf("got %d result files, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if base := filepath.Base(p); base[:6] != "BENCH_" {
+			t.Errorf("result file %q does not follow BENCH_<scenario>.json", base)
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s: not valid JSON: %v", p, err)
+		}
+		if doc["schema"] != BenchSchema {
+			t.Errorf("%s: schema = %v, want %s", p, doc["schema"], BenchSchema)
+		}
+		for _, key := range []string{
+			"scenario", "model", "engine", "steps",
+			"step_time_mean_ns", "allocs_per_step", "bytes_per_step",
+			"factor_compute_ns", "eig_compute_ns", "precondition_ns", "overlap_ns",
+			"steady_steps", "steady_step_time_mean_ns",
+			"steady_allocs_per_step", "steady_bytes_per_step",
+		} {
+			if _, ok := doc[key]; !ok {
+				t.Errorf("%s: missing schema field %q", p, key)
+			}
+		}
+		// Sanity: a measured run always reports positive step time.
+		if v, ok := doc["step_time_mean_ns"].(float64); !ok || v <= 0 {
+			t.Errorf("%s: step_time_mean_ns = %v, want > 0", p, doc["step_time_mean_ns"])
+		}
+	}
+	// A round-trip through the typed struct must preserve the schema tag
+	// (catches accidental field renames).
+	var typed BenchResult
+	raw, _ := os.ReadFile(paths[0])
+	if err := json.Unmarshal(raw, &typed); err != nil {
+		t.Fatal(err)
+	}
+	if typed.Schema != BenchSchema || typed.Scenario == "" {
+		t.Errorf("typed round-trip lost fields: %+v", typed)
+	}
+}

@@ -18,9 +18,16 @@
 package kfac
 
 import (
+	"repro/internal/linalg"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
+
+// covKernel computes dst = aᵀa. It defaults to the blocked symmetric
+// multiply (half the multiply-adds of a general matmul, parallel over the
+// shared compute pool); the bit-identity tests swap in the reference
+// general-matmul path to prove the two produce identical bits end to end.
+var covKernel = linalg.SymMulT1Into
 
 // ComputeCovA forms the activation covariance factor A for a captured
 // layer, following the conventions of the paper's reference implementation:
@@ -33,6 +40,17 @@ import (
 // A's dimension in+1 so the bias gradient is preconditioned jointly with
 // the weights.
 func ComputeCovA(layer nn.KFACCapturable) *tensor.Tensor {
+	da, _ := FactorDims(layer)
+	cov := tensor.New(da, da)
+	var sample *tensor.Tensor
+	computeCovAInto(cov, layer, &sample)
+	return cov
+}
+
+// computeCovAInto is ComputeCovA writing into dst (da×da) and drawing the
+// bias-augmented sample matrix from *sample — the allocation-free form the
+// preconditioner's per-layer workspaces use.
+func computeCovAInto(dst *tensor.Tensor, layer nn.KFACCapturable, sample **tensor.Tensor) {
 	act := layer.CapturedActivation()
 	if act == nil {
 		panic("kfac: ComputeCovA called without captured activation (is capture enabled?)")
@@ -50,9 +68,9 @@ func ComputeCovA(layer nn.KFACCapturable) *tensor.Tensor {
 	}
 	// Form the (optionally bias-augmented, scaled) sample matrix without
 	// copying when possible.
-	var a *tensor.Tensor
+	a := act
 	if layer.HasBias() || scale != 1 {
-		a = tensor.New(rows, d)
+		a = tensor.Ensure(sample, rows, d)
 		for i := 0; i < rows; i++ {
 			src := act.Data[i*cols : (i+1)*cols]
 			dst := a.Data[i*d : (i+1)*d]
@@ -63,12 +81,9 @@ func ComputeCovA(layer nn.KFACCapturable) *tensor.Tensor {
 				dst[d-1] = scale
 			}
 		}
-	} else {
-		a = act
 	}
-	cov := tensor.MatMulT1(a, a)
-	cov.Scale(1 / float64(batch))
-	return cov
+	covKernel(dst, a)
+	dst.Scale(1 / float64(batch))
 }
 
 // ComputeCovG forms the output-gradient covariance factor G, assuming the
@@ -79,6 +94,14 @@ func ComputeCovA(layer nn.KFACCapturable) *tensor.Tensor {
 //	Conv2D: g [N·S, out]    → G = (gᵀg) · N · S   (after scaling rows by N·S,
 //	                          normalized by the N·S sample count)
 func ComputeCovG(layer nn.KFACCapturable) *tensor.Tensor {
+	_, dg := FactorDims(layer)
+	cov := tensor.New(dg, dg)
+	computeCovGInto(cov, layer)
+	return cov
+}
+
+// computeCovGInto is ComputeCovG writing into dst (dg×dg).
+func computeCovGInto(dst *tensor.Tensor, layer nn.KFACCapturable) {
 	g := layer.CapturedOutputGrad()
 	if g == nil {
 		panic("kfac: ComputeCovG called without captured output gradient")
@@ -88,9 +111,8 @@ func ComputeCovG(layer nn.KFACCapturable) *tensor.Tensor {
 	// Undo batch averaging and spatial scaling: scale each sample row by
 	// N·S, then normalize the covariance by the sample count (N·S rows for
 	// conv, N rows for linear). Algebraically G = (N·S)²/(N·S)·gᵀg = N·S·gᵀg.
-	cov := tensor.MatMulT1(g, g)
-	cov.Scale(float64(batch) * float64(spatial))
-	return cov
+	covKernel(dst, g)
+	dst.Scale(float64(batch) * float64(spatial))
 }
 
 // FactorDims returns the dimensions (rows of A, rows of G) the factors of a

@@ -330,17 +330,12 @@ func (r *pipelineRun) runDistributed(pool *sched.Pool) error {
 }
 
 // computeCov computes a layer's local covariance factors and folds them
-// into the running averages (Equations 16–17).
+// into the running averages (Equations 16–17). The arithmetic is shared
+// with the synchronous engine via computeCovState; only the per-layer
+// workspaces of s are touched, so layers can run concurrently.
 func (r *pipelineRun) computeCov(s *layerState) {
 	start := time.Now()
-	covA := ComputeCovA(s.layer)
-	covG := ComputeCovG(s.layer)
-	if s.A == nil {
-		s.A, s.G = covA, covG
-	} else {
-		s.A.Lerp(r.p.opts.FactorDecay, covA)
-		s.G.Lerp(r.p.opts.FactorDecay, covG)
-	}
+	r.p.computeCovState(s)
 	r.facCompNS.Add(int64(time.Since(start)))
 }
 
@@ -461,12 +456,29 @@ func (r *pipelineRun) spawnChunkWaiters(chunks []*comm.Chunk, layerOf map[*tenso
 	}
 }
 
+// precondRanger runs per-layer preconditioning over a range of layer
+// indices — the leaf-compute unit preconditionParallel fans out over the
+// engine pool with sched.Pool.ForEach. Each layer touches only its own
+// state workspaces, so ranges are independent.
+type precondRanger struct {
+	wg              sync.WaitGroup
+	p               *Preconditioner
+	grads, preconds []*tensor.Tensor
+}
+
+// RunRange implements sched.Ranger.
+func (r *precondRanger) RunRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r.preconds[i] = r.p.preconditionOne(r.p.states[i], r.grads[i])
+	}
+}
+
 // preconditionParallel is the pipelined-engine analogue of precondition:
-// per-layer preconditioning runs on the worker pool (via a sched.Graph),
-// while the κ gradient scaling keeps its deterministic layer-order
-// reduction so results are bit-identical to the synchronous engine. The
-// LayerWise broadcast scheme keeps the sequential path — its per-layer
-// broadcasts are ordered collectives.
+// per-layer preconditioning fans out over the worker pool (zero-allocation
+// ForEach dispatch), while the κ gradient scaling keeps its deterministic
+// layer-order reduction so results are bit-identical to the synchronous
+// engine. The LayerWise broadcast scheme keeps the sequential path — its
+// per-layer broadcasts are ordered collectives.
 func (p *Preconditioner) preconditionParallel(lr float64) error {
 	if p.opts.Strategy == LayerWise && p.comm != nil && p.comm.Size() > 1 {
 		return p.precondition(lr)
@@ -478,23 +490,14 @@ func (p *Preconditioner) preconditionParallel(lr float64) error {
 		p.stats.Steps++
 		p.stats.mu.Unlock()
 	}()
-	n := len(p.states)
-	grads := make([]*tensor.Tensor, n)
-	preconds := make([]*tensor.Tensor, n)
+	grads, preconds := p.stepSlices()
 	for i, s := range p.states {
-		grads[i] = s.layer.CombinedGrad()
+		grads[i] = p.combinedGrad(s)
 	}
-	g := sched.NewGraph(p.ensurePool())
-	for i, s := range p.states {
-		i, s := i, s
-		g.Add(func() error {
-			preconds[i] = p.preconditionOne(s, grads[i])
-			return nil
-		})
-	}
-	if err := g.Wait(); err != nil {
-		return err
-	}
+	pool := p.ensurePool()
+	r := &p.precondRg
+	r.p, r.grads, r.preconds = p, grads, preconds
+	pool.ForEach(len(p.states), pool.Workers(), r, &r.wg)
 	p.applyKLClip(lr, grads, preconds)
 	return nil
 }

@@ -110,6 +110,22 @@ type layerState struct {
 	// every decomposition update from the averaged factors, so it is
 	// identical on every rank without communication.
 	pi float64
+
+	// Reused workspaces. Together with the Eigen in-place refresh
+	// (linalg.SymEigInto) they make the steady-state Step path — combined
+	// gradient, preconditioning products, KL clip — allocation-free; see
+	// TestKFACStepSteadyStateZeroAllocs.
+	covA, covG *tensor.Tensor // covariance scratch for one factor update
+	sample     *tensor.Tensor // bias-augmented activation sample matrix
+	gradBuf    *tensor.Tensor // combined gradient [dg, da]
+	wA, wB     *tensor.Tensor // preconditioning intermediates [dg, da]
+	pcBuf      *tensor.Tensor // preconditioned gradient [dg, da]
+	// Decomposition spares: SymEigInto refreshes into the spare, which is
+	// swapped with eigA/eigG only on success, so a convergence failure
+	// never clobbers the last good decomposition (the stale path keeps
+	// preconditioning with it). Storage still recycles: the pair
+	// ping-pongs between the two buffers.
+	eigSpareA, eigSpareG *linalg.Eigen
 }
 
 // Preconditioner is the distributed K-FAC gradient preconditioner
@@ -123,6 +139,11 @@ type Preconditioner struct {
 	step   int
 	stats  StageStats
 	pool   *sched.Pool // lazily created by the pipelined engine
+
+	// Reused per-step slices and dispatch record for the precondition
+	// phase.
+	gradsBuf, precondsBuf []*tensor.Tensor
+	precondRg             precondRanger
 }
 
 // New builds a preconditioner over every K-FAC-capturable layer of model
@@ -298,20 +319,31 @@ func (p *Preconditioner) Step(lr float64) error {
 	return p.precondition(lr)
 }
 
+// computeCovState recomputes one layer's local covariance factors into its
+// reused workspaces and folds them into the running averages
+// (Equations 16–17). Both step engines share this path, so their factor
+// arithmetic is identical bit for bit.
+func (p *Preconditioner) computeCovState(s *layerState) {
+	da, dg := FactorDims(s.layer)
+	covA := tensor.Ensure(&s.covA, da, da)
+	computeCovAInto(covA, s.layer, &s.sample)
+	covG := tensor.Ensure(&s.covG, dg, dg)
+	computeCovGInto(covG, s.layer)
+	if s.A == nil {
+		s.A, s.G = covA.Clone(), covG.Clone()
+	} else {
+		s.A.Lerp(p.opts.FactorDecay, covA)
+		s.G.Lerp(p.opts.FactorDecay, covG)
+	}
+}
+
 // updateFactors recomputes the local covariance factors, folds them into the
 // running averages, and averages the running averages across workers
 // (Algorithm 1, step 1).
 func (p *Preconditioner) updateFactors() error {
 	start := time.Now()
 	for _, s := range p.states {
-		covA := ComputeCovA(s.layer)
-		covG := ComputeCovG(s.layer)
-		if s.A == nil {
-			s.A, s.G = covA, covG
-		} else {
-			s.A.Lerp(p.opts.FactorDecay, covA)
-			s.G.Lerp(p.opts.FactorDecay, covG)
-		}
+		p.computeCovState(s)
 	}
 	p.stats.add(&p.stats.FactorCompute, time.Since(start))
 	p.stats.mu.Lock()
@@ -385,12 +417,16 @@ func (p *Preconditioner) decomposeA(s *layerState) error {
 		s.invA = inv
 		return nil
 	}
-	eg, err := linalg.SymEig(s.A)
-	if err != nil {
+	if s.eigSpareA == nil {
+		s.eigSpareA = &linalg.Eigen{}
+	}
+	// Refresh into the spare; swap in only on success so the previous
+	// decomposition survives a convergence failure.
+	if err := linalg.SymEigInto(s.A, s.eigSpareA); err != nil {
 		return err
 	}
-	clampEigen(eg)
-	s.eigA = eg
+	clampEigen(s.eigSpareA)
+	s.eigA, s.eigSpareA = s.eigSpareA, s.eigA
 	return nil
 }
 
@@ -407,12 +443,14 @@ func (p *Preconditioner) decomposeG(s *layerState) error {
 		s.invG = inv
 		return nil
 	}
-	eg, err := linalg.SymEig(s.G)
-	if err != nil {
+	if s.eigSpareG == nil {
+		s.eigSpareG = &linalg.Eigen{}
+	}
+	if err := linalg.SymEigInto(s.G, s.eigSpareG); err != nil {
 		return err
 	}
-	clampEigen(eg)
-	s.eigG = eg
+	clampEigen(s.eigSpareG)
+	s.eigG, s.eigSpareG = s.eigSpareG, s.eigG
 	return nil
 }
 
@@ -436,11 +474,9 @@ func (p *Preconditioner) precondition(lr float64) error {
 		p.stats.Steps++
 		p.stats.mu.Unlock()
 	}()
-	n := len(p.states)
-	grads := make([]*tensor.Tensor, n)
-	preconds := make([]*tensor.Tensor, n)
+	grads, preconds := p.stepSlices()
 	for i, s := range p.states {
-		grads[i] = s.layer.CombinedGrad()
+		grads[i] = p.combinedGrad(s)
 	}
 
 	if p.opts.Strategy == LayerWise && p.comm != nil && p.comm.Size() > 1 {
@@ -451,7 +487,8 @@ func (p *Preconditioner) precondition(lr float64) error {
 			if s.gWorker == p.rank() {
 				pc = p.preconditionOne(s, grads[i])
 			} else {
-				pc = tensor.New(grads[i].Shape...)
+				// Broadcast fully overwrites the receive buffer.
+				pc = tensor.Ensure(&s.pcBuf, grads[i].Shape...)
 			}
 			if err := p.comm.Broadcast(pc.Data, s.gWorker); err != nil {
 				return err
@@ -468,6 +505,25 @@ func (p *Preconditioner) precondition(lr float64) error {
 
 	p.applyKLClip(lr, grads, preconds)
 	return nil
+}
+
+// stepSlices returns the reused per-layer gradient and precondition slices.
+func (p *Preconditioner) stepSlices() (grads, preconds []*tensor.Tensor) {
+	n := len(p.states)
+	if cap(p.gradsBuf) < n {
+		p.gradsBuf = make([]*tensor.Tensor, n)
+		p.precondsBuf = make([]*tensor.Tensor, n)
+	}
+	return p.gradsBuf[:n], p.precondsBuf[:n]
+}
+
+// combinedGrad writes the layer's combined gradient into its reused
+// workspace and returns it.
+func (p *Preconditioner) combinedGrad(s *layerState) *tensor.Tensor {
+	da, dg := FactorDims(s.layer)
+	g := tensor.Ensure(&s.gradBuf, dg, da)
+	s.layer.CombinedGradInto(g)
+	return g
 }
 
 // applyKLClip applies the κ gradient scaling (Equation 18) and writes the
@@ -494,14 +550,20 @@ func (p *Preconditioner) applyKLClip(lr float64, grads, preconds []*tensor.Tenso
 }
 
 // preconditionOne computes (F̂ᵢ+γI)⁻¹∇L for a single layer from the stored
-// decompositions.
+// decompositions, writing into the layer's reused workspace (which it
+// returns). grad must not alias the workspace tensors.
 func (p *Preconditioner) preconditionOne(s *layerState, grad *tensor.Tensor) *tensor.Tensor {
+	out, in := grad.Rows(), grad.Cols()
+	pc := tensor.Ensure(&s.pcBuf, out, in)
 	if p.opts.Mode == InverseMode {
 		if s.invA == nil || s.invG == nil {
 			panic("kfac: precondition before inverse update")
 		}
 		// Equation 10: G⁻¹ ∇L A⁻¹ (inverses already damped).
-		return tensor.MatMul(tensor.MatMul(s.invG, grad), s.invA)
+		t1 := tensor.Ensure(&s.wA, out, in)
+		tensor.MatMulInto(t1, s.invG, grad)
+		tensor.MatMulInto(pc, t1, s.invA)
+		return pc
 	}
 	if s.eigA == nil || s.eigG == nil {
 		panic("kfac: precondition before eigendecomposition update")
@@ -511,8 +573,10 @@ func (p *Preconditioner) preconditionOne(s *layerState, grad *tensor.Tensor) *te
 	//   V₂ = V₁ / (υ_G υ_Aᵀ + γ)
 	//   out = Q_G V₂ Q_Aᵀ
 	qg, qa := s.eigG.Q, s.eigA.Q
-	v1 := tensor.MatMul(tensor.MatMulT1(qg, grad), qa)
-	out, in := v1.Rows(), v1.Cols()
+	t1 := tensor.Ensure(&s.wA, out, in)
+	tensor.MatMulT1Into(t1, qg, grad)
+	v1 := tensor.Ensure(&s.wB, out, in)
+	tensor.MatMulInto(v1, t1, qa)
 	if p.opts.PiDamping {
 		// Factored split: denominator (λ_A + π√γ)(λ_G + √γ/π).
 		ga, gg := p.dampingSplit(s)
@@ -532,7 +596,10 @@ func (p *Preconditioner) preconditionOne(s *layerState, grad *tensor.Tensor) *te
 			}
 		}
 	}
-	return tensor.MatMulT2(tensor.MatMul(qg, v1), qa)
+	t2 := t1 // wA no longer needed; reuse for Q_G × V₂
+	tensor.MatMulInto(t2, qg, v1)
+	tensor.MatMulT2Into(pc, t2, qa)
+	return pc
 }
 
 // allgatherDecompositions shares each rank's computed decompositions with
@@ -602,28 +669,32 @@ func (p *Preconditioner) consumeRecords(block []float64) error {
 			if pos+n*n > len(block) {
 				return fmt.Errorf("kfac: truncated inverse record")
 			}
-			m := tensor.FromSlice(append([]float64(nil), block[pos:pos+n*n]...), n, n)
-			pos += n * n
+			dst := &s.invA
 			if isG {
-				s.invG = m
-			} else {
-				s.invA = m
+				dst = &s.invG
 			}
+			// Fill the stored inverse in place, reusing its storage.
+			copy(tensor.Ensure(dst, n, n).Data, block[pos:pos+n*n])
+			pos += n * n
 			continue
 		}
 		if pos+n+n*n > len(block) {
 			return fmt.Errorf("kfac: truncated eigen record")
 		}
-		vals := append([]float64(nil), block[pos:pos+n]...)
-		pos += n
-		q := tensor.FromSlice(append([]float64(nil), block[pos:pos+n*n]...), n, n)
-		pos += n * n
-		eg := &linalg.Eigen{Q: q, Values: vals}
+		eg := s.eigA
 		if isG {
-			s.eigG = eg
-		} else {
-			s.eigA = eg
+			eg = s.eigG
 		}
+		if eg == nil {
+			eg = &linalg.Eigen{}
+			if isG {
+				s.eigG = eg
+			} else {
+				s.eigA = eg
+			}
+		}
+		eg.SetFrom(block[pos:pos+n], block[pos+n:pos+n+n*n], n)
+		pos += n + n*n
 	}
 	return nil
 }

@@ -1,0 +1,163 @@
+package kfac
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// useReferenceCovKernel swaps the covariance kernel to the general-matmul
+// reference path and returns a restore func. Tests using it must not run in
+// parallel (the hook is package state).
+func useReferenceCovKernel() func() {
+	old := covKernel
+	covKernel = func(dst, a *tensor.Tensor) { tensor.MatMulT1Into(dst, a, a) }
+	return func() { covKernel = old }
+}
+
+// TestKFACStepSteadyStateZeroAllocs is the allocation guard of the
+// acceptance criteria: once the factor and decomposition updates have run
+// and the per-layer workspaces have settled, a stale-decomposition Step —
+// the common steady-state iteration — must perform zero heap allocations.
+func TestKFACStepSteadyStateZeroAllocs(t *testing.T) {
+	net := buildTinyNet(77)
+	prec := NewFromOptions(net, nil, Options{
+		FactorUpdateFreq: 1 << 30, InvUpdateFreq: 1 << 30, Damping: 1e-3,
+	})
+	runStep(net, 300, 4)
+	// First step computes factors + decompositions; two more settle every
+	// Ensure workspace at its steady-state size.
+	for i := 0; i < 3; i++ {
+		if err := prec.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := prec.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestKFACStepSteadyStateZeroAllocsInverseMode is the same guard for the
+// Table I explicit-inverse ablation path.
+func TestKFACStepSteadyStateZeroAllocsInverseMode(t *testing.T) {
+	net := buildTinyNet(78)
+	prec := NewFromOptions(net, nil, Options{
+		Mode: InverseMode, FactorUpdateFreq: 1 << 30, InvUpdateFreq: 1 << 30, Damping: 1e-3,
+	})
+	runStep(net, 301, 4)
+	for i := 0; i < 3; i++ {
+		if err := prec.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := prec.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state inverse-mode Step allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestKFACStepSteadyStateZeroAllocsPipelined guards the pipelined engine's
+// steady-state path: stale steps bypass the update pipeline entirely and
+// fan preconditioning out with the zero-allocation ForEach dispatch.
+func TestKFACStepSteadyStateZeroAllocsPipelined(t *testing.T) {
+	net := buildTinyNet(79)
+	prec := NewFromOptions(net, nil, Options{
+		Engine: EnginePipelined, FactorUpdateFreq: 1 << 30, InvUpdateFreq: 1 << 30, Damping: 1e-3,
+	})
+	defer prec.Close()
+	runStep(net, 302, 4)
+	for i := 0; i < 3; i++ {
+		if err := prec.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := prec.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state pipelined Step allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDecomposeFailurePreservesPreviousEigen: the in-place decomposition
+// refresh double-buffers, so a failing eigensolve must leave the last good
+// decomposition in place for the stale-preconditioning path.
+func TestDecomposeFailurePreservesPreviousEigen(t *testing.T) {
+	net := buildTinyNet(80)
+	p := NewFromOptions(net, nil, Options{FactorUpdateFreq: 1, InvUpdateFreq: 1})
+	runStep(net, 400, 4)
+	if err := p.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	s := p.states[0]
+	q0 := s.eigA.Q.Clone()
+	s.A.Data[0] = math.NaN()
+	if err := p.decomposeA(s); err == nil {
+		t.Fatal("decomposeA accepted a NaN factor")
+	}
+	if !s.eigA.Q.Equal(q0, 0) {
+		t.Error("failed decomposition clobbered the previous eigenbasis")
+	}
+}
+
+// worldStepTrace runs stepTrace on every rank of a p-rank in-process world
+// and returns the per-rank final combined gradients.
+func worldStepTrace(t *testing.T, p int, opts Options, steps int) [][]*tensor.Tensor {
+	t.Helper()
+	if p == 1 {
+		return [][]*tensor.Tensor{stepTrace(t, nil, opts, steps)}
+	}
+	fab := comm.NewInprocFabric(p)
+	out := make([][]*tensor.Tensor, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out[r] = stepTrace(t, comm.NewCommunicator(fab.Endpoint(r)), opts, steps)
+		}(r)
+	}
+	wg.Wait()
+	return out
+}
+
+// TestCovKernelBitIdenticalAcrossWorlds is the acceptance gate for the
+// kernel swap: same-seed runs through the blocked symmetric-multiply
+// covariance kernel must leave every rank's preconditioned gradients
+// bit-identical to runs through the reference general-matmul kernel, for
+// every world size 1–8 (exact comparison, both step engines exercised via
+// the factor path both engines share).
+func TestCovKernelBitIdenticalAcrossWorlds(t *testing.T) {
+	opts := Options{FactorUpdateFreq: 1, InvUpdateFreq: 2}
+	const steps = 3
+	for p := 1; p <= 8; p++ {
+		restore := useReferenceCovKernel()
+		want := worldStepTrace(t, p, opts, steps)
+		restore()
+		got := worldStepTrace(t, p, opts, steps)
+		for r := range want {
+			if len(want[r]) == 0 {
+				t.Fatalf("world %d: empty trace", p)
+			}
+			for i := range want[r] {
+				if !want[r][i].Equal(got[r][i], 0) {
+					t.Errorf("world %d rank %d layer %d: blocked kernel differs from reference (exact comparison)", p, r, i)
+				}
+			}
+		}
+	}
+}

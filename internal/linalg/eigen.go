@@ -28,9 +28,15 @@ var ErrNoConvergence = errors.New("linalg: eigendecomposition did not converge")
 
 // Eigen holds the eigendecomposition A = Q diag(Values) Qᵀ of a symmetric
 // matrix. Q's columns are the eigenvectors; Values are ascending.
+//
+// An Eigen may be reused across decompositions via SymEigInto, which
+// recycles Q, Values, and the internal tridiagonal scratch so steady-state
+// redecomposition allocates nothing.
 type Eigen struct {
 	Q      *tensor.Tensor // n×n, column j is the eigenvector for Values[j]
 	Values []float64      // ascending eigenvalues
+
+	scratch []float64 // sub-diagonal workspace reused by SymEigInto
 }
 
 // SymEig computes the eigendecomposition of symmetric matrix a. The input is
@@ -43,32 +49,64 @@ type Eigen struct {
 // eigendecompose a rank's owned layers in parallel; see
 // TestConcurrentSymEigMatchesSerial.
 func SymEig(a *tensor.Tensor) (*Eigen, error) {
+	eg := &Eigen{}
+	if err := SymEigInto(a, eg); err != nil {
+		return nil, err
+	}
+	return eg, nil
+}
+
+// SymEigInto is SymEig writing the decomposition into eg, reusing eg's Q,
+// Values, and internal scratch when their capacity suffices — the
+// steady-state redecomposition path of the K-FAC preconditioner, which
+// holds one Eigen per factor and refreshes it in place with zero heap
+// allocation. The input is validated (NaN/Inf rejected) before eg is
+// touched; on a convergence error eg's contents are unspecified.
+func SymEigInto(a *tensor.Tensor, eg *Eigen) error {
 	n := a.Rows()
 	if a.Cols() != n {
-		return nil, fmt.Errorf("linalg: SymEig requires square matrix, got %dx%d", a.Rows(), a.Cols())
-	}
-	if n == 0 {
-		return &Eigen{Q: tensor.New(0, 0)}, nil
+		return fmt.Errorf("linalg: SymEig requires square matrix, got %dx%d", a.Rows(), a.Cols())
 	}
 	for _, x := range a.Data {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return nil, fmt.Errorf("linalg: SymEig input contains NaN/Inf")
+			return fmt.Errorf("linalg: SymEig input contains NaN/Inf")
 		}
 	}
+	v := tensor.Ensure(&eg.Q, n, n)
+	if n == 0 {
+		eg.Values = eg.Values[:0]
+		return nil
+	}
 	// Work on the symmetrized copy.
-	v := tensor.New(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			v.Data[i*n+j] = 0.5 * (a.Data[i*n+j] + a.Data[j*n+i])
 		}
 	}
-	d := make([]float64, n) // diagonal of the tridiagonal form
-	e := make([]float64, n) // sub-diagonal
+	eg.Values = ensureFloats(eg.Values, n)   // diagonal of the tridiagonal form
+	eg.scratch = ensureFloats(eg.scratch, n) // sub-diagonal
+	d, e := eg.Values, eg.scratch
 	tred2(v.Data, n, d, e)
-	if err := tql2(v.Data, n, d, e); err != nil {
-		return nil, err
+	return tql2(v.Data, n, d, e)
+}
+
+// SetFrom overwrites the decomposition with n eigenvalues and an n×n
+// eigenvector matrix copied from the given flat slices, reusing eg's
+// storage when possible. It is the deserialization path of K-FAC's
+// decomposition allgather.
+func (eg *Eigen) SetFrom(values, q []float64, n int) {
+	eg.Values = ensureFloats(eg.Values, n)
+	copy(eg.Values, values)
+	copy(tensor.Ensure(&eg.Q, n, n).Data, q)
+}
+
+// ensureFloats returns a length-n slice, reusing buf's storage when its
+// capacity suffices. Contents are unspecified.
+func ensureFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
 	}
-	return &Eigen{Q: v, Values: d}, nil
+	return make([]float64, n)
 }
 
 // tred2 reduces a symmetric matrix (stored in v, row-major n×n) to

@@ -15,24 +15,49 @@ import (
 // cross-checks SymEig against — the same role the paper's Table I plays for
 // validating the numerically delicate path.
 func SymEigJacobi(a *tensor.Tensor, maxSweeps int) (*Eigen, error) {
+	return symEigJacobi(a, maxSweeps, nil)
+}
+
+// SymEigJacobiArena is SymEigJacobi with every workspace — the symmetrized
+// working copy, the eigenvector accumulator, and the eigenvalue slice's
+// backing tensor — checked out of ws instead of heap-allocated, so repeated
+// oracle decompositions (test cross-checks, convergence sweeps) can run
+// allocation-free between ws.Reset calls. The returned Eigen's storage is
+// owned by the arena: it is valid only until the next ws.Reset.
+func SymEigJacobiArena(a *tensor.Tensor, maxSweeps int, ws *tensor.Arena) (*Eigen, error) {
+	return symEigJacobi(a, maxSweeps, ws)
+}
+
+// symEigJacobi runs the cyclic Jacobi iteration; ws may be nil (heap
+// scratch).
+func symEigJacobi(a *tensor.Tensor, maxSweeps int, ws *tensor.Arena) (*Eigen, error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return nil, fmt.Errorf("linalg: SymEigJacobi requires square matrix, got %dx%d", a.Rows(), a.Cols())
 	}
+	alloc := func(shape ...int) *tensor.Tensor {
+		if ws != nil {
+			return ws.GetZero(shape...)
+		}
+		return tensor.New(shape...)
+	}
 	if n == 0 {
-		return &Eigen{Q: tensor.New(0, 0)}, nil
+		return &Eigen{Q: alloc(0, 0)}, nil
 	}
 	if maxSweeps <= 0 {
 		maxSweeps = 60
 	}
 	// Work on the symmetrized copy.
-	m := tensor.New(n, n)
+	m := alloc(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			m.Data[i*n+j] = 0.5 * (a.Data[i*n+j] + a.Data[j*n+i])
 		}
 	}
-	v := tensor.Eye(n)
+	v := alloc(n, n)
+	for i := 0; i < n; i++ {
+		v.Data[i*n+i] = 1
+	}
 
 	offDiag := func() float64 {
 		var s float64
@@ -96,7 +121,12 @@ func SymEigJacobi(a *tensor.Tensor, maxSweeps int) (*Eigen, error) {
 	if offDiag() > tol*1e6 {
 		return nil, ErrNoConvergence
 	}
-	vals := make([]float64, n)
+	var vals []float64
+	if ws != nil {
+		vals = ws.Get(n).Data // fully overwritten below
+	} else {
+		vals = make([]float64, n)
+	}
 	for i := 0; i < n; i++ {
 		vals[i] = m.Data[i*n+i]
 	}

@@ -8,14 +8,21 @@ import (
 type ReLU struct {
 	name string
 	mask []bool
+
+	reuse  bool
+	outBuf *tensor.Tensor
+	dxBuf  *tensor.Tensor
 }
 
 // NewReLU constructs a ReLU layer.
 func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 
+// SetBufferReuse implements BufferReuser.
+func (r *ReLU) SetBufferReuse(on bool) { r.reuse = on }
+
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
+	out := ensureBuf(r.reuse, &r.outBuf, x.Shape...)
 	if cap(r.mask) < x.Len() {
 		r.mask = make([]bool, x.Len())
 	}
@@ -25,6 +32,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			out.Data[i] = v
 			r.mask[i] = true
 		} else {
+			out.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -33,10 +41,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(gradOut.Shape...)
+	dx := ensureBuf(r.reuse, &r.dxBuf, gradOut.Shape...)
 	for i, v := range gradOut.Data {
 		if r.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -55,6 +65,10 @@ type MaxPool2d struct {
 	K, S    int
 	argmax  []int
 	inShape []int
+
+	reuse  bool
+	outBuf *tensor.Tensor
+	dxBuf  *tensor.Tensor
 }
 
 // NewMaxPool2d constructs a max-pooling layer.
@@ -62,13 +76,16 @@ func NewMaxPool2d(name string, k, stride int) *MaxPool2d {
 	return &MaxPool2d{name: name, K: k, S: stride}
 }
 
+// SetBufferReuse implements BufferReuser.
+func (m *MaxPool2d) SetBufferReuse(on bool) { m.reuse = on }
+
 // Forward implements Layer.
 func (m *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	m.inShape = x.Shape
 	oh := (h-m.K)/m.S + 1
 	ow := (w-m.K)/m.S + 1
-	out := tensor.New(n, c, oh, ow)
+	out := ensureBuf(m.reuse, &m.outBuf, n, c, oh, ow)
 	if cap(m.argmax) < out.Len() {
 		m.argmax = make([]int, out.Len())
 	}
@@ -103,7 +120,7 @@ func (m *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.inShape...)
+	dx := ensureBufZero(m.reuse, &m.dxBuf, m.inShape...)
 	for i, v := range gradOut.Data {
 		dx.Data[m.argmax[i]] += v
 	}
@@ -121,17 +138,24 @@ func (m *MaxPool2d) Name() string { return m.name }
 type GlobalAvgPool struct {
 	name    string
 	inShape []int
+
+	reuse  bool
+	outBuf *tensor.Tensor
+	dxBuf  *tensor.Tensor
 }
 
 // NewGlobalAvgPool constructs a global average pooling layer.
 func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// SetBufferReuse implements BufferReuser.
+func (g *GlobalAvgPool) SetBufferReuse(on bool) { g.reuse = on }
 
 // Forward implements Layer.
 func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	g.inShape = x.Shape
 	spatial := h * w
-	out := tensor.New(n, c)
+	out := ensureBuf(g.reuse, &g.outBuf, n, c)
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
 			base := (img*c + ch) * spatial
@@ -150,7 +174,7 @@ func (g *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
 	spatial := h * w
 	inv := 1 / float64(spatial)
-	dx := tensor.New(g.inShape...)
+	dx := ensureBuf(g.reuse, &g.dxBuf, g.inShape...)
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
 			gv := gradOut.Data[img*c+ch] * inv

@@ -28,6 +28,14 @@ type Conv2D struct {
 	batch        int
 	gradCap      *tensor.Tensor
 	actCapShared bool // capture shares cols (no clone needed: cols is fresh per forward)
+
+	reuse      bool           // recycle the buffers below across steps (BufferReuser)
+	outMatBuf  *tensor.Tensor // forward GEMM output [n·oh·ow, outC]
+	outBuf     *tensor.Tensor // forward NCHW output
+	gradMatBuf *tensor.Tensor // backward layout transform of gradOut
+	dwBuf      *tensor.Tensor // weight-gradient scratch
+	dColsBuf   *tensor.Tensor // backward column-space gradient
+	dxBuf      *tensor.Tensor // input gradient
 }
 
 // NewConv2D constructs a convolution layer with He initialization
@@ -53,13 +61,25 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if ch != c.InC {
 		panic("nn: Conv2D channel mismatch")
 	}
-	c.inShape = []int{n, ch, h, w}
+	if cap(c.inShape) >= 4 {
+		c.inShape = c.inShape[:4]
+		c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3] = n, ch, h, w
+	} else {
+		c.inShape = []int{n, ch, h, w}
+	}
 	c.batch = n
 	c.outH = tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
 	c.outW = tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
-	c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad) // [n·oh·ow, ckk]
+	rows := n * c.outH * c.outW
+	if c.reuse {
+		tensor.Ensure(&c.cols, rows, c.InC*c.KH*c.KW)
+		tensor.Im2ColInto(c.cols, x, c.KH, c.KW, c.Stride, c.Pad)
+	} else {
+		c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad) // [n·oh·ow, ckk]
+	}
 	// out matrix [n·oh·ow, outC] = cols × Wᵀ
-	outMat := tensor.MatMulT2(c.cols, c.W.Value)
+	outMat := ensureBuf(c.reuse, &c.outMatBuf, rows, c.OutC)
+	tensor.MatMulT2Into(outMat, c.cols, c.W.Value)
 	if c.B != nil {
 		rows, oc := outMat.Rows(), outMat.Cols()
 		for i := 0; i < rows; i++ {
@@ -69,18 +89,22 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	return matToNCHW(outMat, n, c.OutC, c.outH, c.outW)
+	out := ensureBuf(c.reuse, &c.outBuf, n, c.OutC, c.outH, c.outW)
+	matToNCHW(out, outMat, n, c.OutC, c.outH, c.outW)
+	return out
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	n := c.inShape[0]
-	gradMat := nchwToMat(gradOut, n, c.OutC, c.outH, c.outW) // [n·oh·ow, outC]
+	gradMat := ensureBuf(c.reuse, &c.gradMatBuf, n*c.outH*c.outW, c.OutC)
+	nchwToMat(gradMat, gradOut, n, c.OutC, c.outH, c.outW) // [n·oh·ow, outC]
 	if c.capture {
 		c.gradCap = gradMat
 	}
 	// dW = gradMatᵀ × cols ([outC, ckk])
-	dW := tensor.MatMulT1(gradMat, c.cols)
+	dW := ensureBuf(c.reuse, &c.dwBuf, c.OutC, c.InC*c.KH*c.KW)
+	tensor.MatMulT1Into(dW, gradMat, c.cols)
 	c.W.Grad.Add(dW)
 	if c.B != nil {
 		rows, oc := gradMat.Rows(), gradMat.Cols()
@@ -92,14 +116,20 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dCols = gradMat × W ([n·oh·ow, ckk]); dX = col2im(dCols)
-	dCols := tensor.MatMul(gradMat, c.W.Value)
-	return tensor.Col2Im(dCols, n, c.InC, c.inShape[2], c.inShape[3], c.KH, c.KW, c.Stride, c.Pad)
+	dCols := ensureBuf(c.reuse, &c.dColsBuf, n*c.outH*c.outW, c.InC*c.KH*c.KW)
+	tensor.MatMulInto(dCols, gradMat, c.W.Value)
+	dx := ensureBuf(c.reuse, &c.dxBuf, n, c.InC, c.inShape[2], c.inShape[3])
+	tensor.Col2ImInto(dx, dCols, c.KH, c.KW, c.Stride, c.Pad)
+	return dx
 }
 
+// SetBufferReuse implements BufferReuser.
+func (c *Conv2D) SetBufferReuse(on bool) { c.reuse = on }
+
 // matToNCHW reshapes a [n·oh·ow, outC] matrix (rows ordered image-major,
-// then spatial) into an [n, outC, oh, ow] tensor.
-func matToNCHW(m *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
-	out := tensor.New(n, oc, oh, ow)
+// then spatial) into the [n, outC, oh, ow] destination, fully overwriting
+// it.
+func matToNCHW(out, m *tensor.Tensor, n, oc, oh, ow int) {
 	spatial := oh * ow
 	for img := 0; img < n; img++ {
 		for s := 0; s < spatial; s++ {
@@ -109,12 +139,11 @@ func matToNCHW(m *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
-// nchwToMat is the inverse layout transform of matToNCHW.
-func nchwToMat(t *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
-	m := tensor.New(n*oh*ow, oc)
+// nchwToMat is the inverse layout transform of matToNCHW, writing into the
+// [n·oh·ow, oc] destination m.
+func nchwToMat(m, t *tensor.Tensor, n, oc, oh, ow int) {
 	spatial := oh * ow
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < oc; ch++ {
@@ -124,7 +153,6 @@ func nchwToMat(t *tensor.Tensor, n, oc, oh, ow int) *tensor.Tensor {
 			}
 		}
 	}
-	return m
 }
 
 // Params implements Layer.
@@ -147,7 +175,9 @@ func (c *Conv2D) SetCapture(on bool) {
 }
 
 // CapturedActivation implements KFACCapturable. The im2col matrix is
-// recomputed each forward pass, so sharing it (rather than cloning) is safe.
+// rewritten by each forward pass (freshly allocated, or recycled in place
+// under buffer reuse), so sharing it rather than cloning is safe for the
+// within-step capture contract: K-FAC consumes it before the next forward.
 func (c *Conv2D) CapturedActivation() *tensor.Tensor {
 	if !c.capture {
 		return nil
@@ -176,15 +206,27 @@ func (c *Conv2D) OutDim() int { return c.OutC }
 // CombinedGrad implements KFACCapturable.
 func (c *Conv2D) CombinedGrad() *tensor.Tensor {
 	in := c.InDim()
+	var g *tensor.Tensor
 	if c.B == nil {
-		return c.W.Grad.Clone()
+		g = tensor.New(c.OutC, in)
+	} else {
+		g = tensor.New(c.OutC, in+1)
 	}
-	g := tensor.New(c.OutC, in+1)
+	c.CombinedGradInto(g)
+	return g
+}
+
+// CombinedGradInto implements KFACCapturable.
+func (c *Conv2D) CombinedGradInto(g *tensor.Tensor) {
+	in := c.InDim()
+	if c.B == nil {
+		g.CopyFrom(c.W.Grad)
+		return
+	}
 	for i := 0; i < c.OutC; i++ {
 		copy(g.Data[i*(in+1):i*(in+1)+in], c.W.Grad.Data[i*in:(i+1)*in])
 		g.Data[i*(in+1)+in] = c.B.Grad.Data[i]
 	}
-	return g
 }
 
 // SetCombinedGrad implements KFACCapturable.

@@ -13,6 +13,10 @@ type AvgPool2d struct {
 	name    string
 	K, S    int
 	inShape []int
+
+	reuse  bool
+	outBuf *tensor.Tensor
+	dxBuf  *tensor.Tensor
 }
 
 // NewAvgPool2d constructs an average-pooling layer.
@@ -20,13 +24,16 @@ func NewAvgPool2d(name string, k, stride int) *AvgPool2d {
 	return &AvgPool2d{name: name, K: k, S: stride}
 }
 
+// SetBufferReuse implements BufferReuser.
+func (a *AvgPool2d) SetBufferReuse(on bool) { a.reuse = on }
+
 // Forward implements Layer.
 func (a *AvgPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	a.inShape = x.Shape
 	oh := (h-a.K)/a.S + 1
 	ow := (w-a.K)/a.S + 1
-	out := tensor.New(n, c, oh, ow)
+	out := ensureBuf(a.reuse, &a.outBuf, n, c, oh, ow)
 	inv := 1 / float64(a.K*a.K)
 	oi := 0
 	for img := 0; img < n; img++ {
@@ -55,7 +62,7 @@ func (a *AvgPool2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := a.inShape[0], a.inShape[1], a.inShape[2], a.inShape[3]
 	oh := (h-a.K)/a.S + 1
 	ow := (w-a.K)/a.S + 1
-	dx := tensor.New(a.inShape...)
+	dx := ensureBufZero(a.reuse, &a.dxBuf, a.inShape...)
 	inv := 1 / float64(a.K*a.K)
 	oi := 0
 	for img := 0; img < n; img++ {
@@ -92,6 +99,10 @@ type Dropout struct {
 	P    float64
 	rng  *rand.Rand
 	mask []bool
+
+	reuse  bool
+	outBuf *tensor.Tensor
+	dxBuf  *tensor.Tensor
 }
 
 // NewDropout constructs a dropout layer with drop probability p.
@@ -99,13 +110,16 @@ func NewDropout(name string, p float64, rng *rand.Rand) *Dropout {
 	return &Dropout{name: name, P: p, rng: rng}
 }
 
+// SetBufferReuse implements BufferReuser.
+func (d *Dropout) SetBufferReuse(on bool) { d.reuse = on }
+
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P <= 0 {
 		d.mask = nil
 		return x
 	}
-	out := tensor.New(x.Shape...)
+	out := ensureBufZero(d.reuse, &d.outBuf, x.Shape...)
 	if cap(d.mask) < x.Len() {
 		d.mask = make([]bool, x.Len())
 	}
@@ -127,7 +141,7 @@ func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return gradOut
 	}
-	dx := tensor.New(gradOut.Shape...)
+	dx := ensureBufZero(d.reuse, &d.dxBuf, gradOut.Shape...)
 	scale := 1 / (1 - d.P)
 	for i, v := range gradOut.Data {
 		if d.mask[i] {

@@ -82,6 +82,10 @@ type KFACCapturable interface {
 	// weight (and bias in the final column when present). The returned
 	// tensor is freshly allocated.
 	CombinedGrad() *tensor.Tensor
+	// CombinedGradInto writes the combined gradient matrix into dst, which
+	// must have shape [outDim, inDim(+1)]. This is the allocation-free form
+	// the K-FAC step's per-layer workspaces use.
+	CombinedGradInto(dst *tensor.Tensor)
 	// SetCombinedGrad writes a preconditioned [outDim, inDim(+1)] gradient
 	// back into the layer's weight (and bias) gradient accumulators.
 	SetCombinedGrad(g *tensor.Tensor)
@@ -197,6 +201,68 @@ func CapturableLayers(root Layer) []KFACCapturable {
 	return out
 }
 
+// BufferReuser is implemented by layers that can recycle their forward and
+// backward workspace tensors across steps instead of allocating fresh ones.
+// Reuse changes storage identity only — the arithmetic, and therefore the
+// result bits, are untouched — but a layer's outputs become invalid once
+// its next Forward/Backward runs, so callers that retain outputs across
+// steps (tests comparing two forward passes, plotting code) must leave
+// reuse off. The trainer enables it for its session-driven loops, where
+// every output is consumed within the step that produced it.
+type BufferReuser interface {
+	Layer
+	// SetBufferReuse enables or disables workspace recycling.
+	SetBufferReuse(on bool)
+}
+
+// SetBufferReuse walks a layer tree and toggles workspace recycling on
+// every layer that supports it (see BufferReuser).
+func SetBufferReuse(root Layer, on bool) {
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *Sequential:
+			for _, c := range v.Layers {
+				walk(c)
+			}
+		case *Residual:
+			v.reuse = on
+			walk(v.Body)
+			if v.Shortcut != nil {
+				walk(v.Shortcut)
+			}
+			walk(v.relu)
+		default:
+			if br, ok := l.(BufferReuser); ok {
+				br.SetBufferReuse(on)
+			}
+		}
+	}
+	walk(root)
+}
+
+// ensureBuf returns a tensor of the given shape: when reuse is on it
+// recycles (*buf)'s storage via tensor.Ensure (contents unspecified),
+// otherwise it allocates fresh zeroed storage without touching *buf. Both
+// paths go through Ensure so the variadic shape never escapes — a reusing
+// caller at steady state allocates nothing.
+func ensureBuf(reuse bool, buf **tensor.Tensor, shape ...int) *tensor.Tensor {
+	if reuse {
+		return tensor.Ensure(buf, shape...)
+	}
+	var fresh *tensor.Tensor
+	return tensor.Ensure(&fresh, shape...)
+}
+
+// ensureBufZero is ensureBuf with the returned tensor guaranteed zeroed.
+func ensureBufZero(reuse bool, buf **tensor.Tensor, shape ...int) *tensor.Tensor {
+	if reuse {
+		return tensor.EnsureZero(buf, shape...)
+	}
+	var fresh *tensor.Tensor
+	return tensor.Ensure(&fresh, shape...)
+}
+
 // ZeroGrads clears all parameter gradients in a layer tree.
 func ZeroGrads(root Layer) {
 	for _, p := range root.Params() {
@@ -235,6 +301,10 @@ type Residual struct {
 
 	relu *ReLU
 	x    *tensor.Tensor
+
+	reuse  bool
+	sumBuf *tensor.Tensor // forward: body + shortcut sum
+	bwBuf  *tensor.Tensor // backward: summed input gradient
 }
 
 // NewResidual constructs a residual block.
@@ -256,7 +326,8 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: residual %s shape mismatch body=%v shortcut=%v",
 			r.name, out.Shape, sc.Shape))
 	}
-	sum := out.Clone()
+	sum := ensureBuf(r.reuse, &r.sumBuf, out.Shape...)
+	sum.CopyFrom(out)
 	sum.Add(sc)
 	return r.relu.Forward(sum, train)
 }
@@ -267,11 +338,13 @@ func (r *Residual) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gBody := r.Body.Backward(g)
 	if r.Shortcut != nil {
 		gShort := r.Shortcut.Backward(g)
-		gBody = gBody.Clone()
-		gBody.Add(gShort)
-		return gBody
+		sum := ensureBuf(r.reuse, &r.bwBuf, gBody.Shape...)
+		sum.CopyFrom(gBody)
+		sum.Add(gShort)
+		return sum
 	}
-	out := gBody.Clone()
+	out := ensureBuf(r.reuse, &r.bwBuf, gBody.Shape...)
+	out.CopyFrom(gBody)
 	out.Add(g)
 	return out
 }

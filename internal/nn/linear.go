@@ -21,6 +21,11 @@ type Linear struct {
 	actCap  *tensor.Tensor // captured activations [N, in]
 	gradCap *tensor.Tensor // captured output grads [N, out]
 	batch   int
+
+	reuse bool           // recycle the buffers below across steps (BufferReuser)
+	yBuf  *tensor.Tensor // forward output
+	dwBuf *tensor.Tensor // weight-gradient scratch
+	dxBuf *tensor.Tensor // input gradient
 }
 
 // NewLinear constructs a linear layer with He initialization.
@@ -40,9 +45,14 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
 	l.batch = x.Rows()
 	if train && l.capture {
-		l.actCap = x.Clone()
+		if l.reuse {
+			tensor.Ensure(&l.actCap, x.Shape...).CopyFrom(x)
+		} else {
+			l.actCap = x.Clone()
+		}
 	}
-	y := tensor.MatMulT2(x, l.W.Value) // [N, out]
+	y := ensureBuf(l.reuse, &l.yBuf, x.Rows(), l.Out) // [N, out]
+	tensor.MatMulT2Into(y, x, l.W.Value)
 	if l.B != nil {
 		n, out := y.Rows(), y.Cols()
 		for i := 0; i < n; i++ {
@@ -58,10 +68,15 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if l.capture {
-		l.gradCap = gradOut.Clone()
+		if l.reuse {
+			tensor.Ensure(&l.gradCap, gradOut.Shape...).CopyFrom(gradOut)
+		} else {
+			l.gradCap = gradOut.Clone()
+		}
 	}
 	// dW = gradOutᵀ × x  ([out, in])
-	dW := tensor.MatMulT1(gradOut, l.x)
+	dW := ensureBuf(l.reuse, &l.dwBuf, l.Out, l.In)
+	tensor.MatMulT1Into(dW, gradOut, l.x)
 	l.W.Grad.Add(dW)
 	if l.B != nil {
 		n, out := gradOut.Rows(), gradOut.Cols()
@@ -73,8 +88,13 @@ func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dX = gradOut × W ([N, in])
-	return tensor.MatMul(gradOut, l.W.Value)
+	dx := ensureBuf(l.reuse, &l.dxBuf, gradOut.Rows(), l.In)
+	tensor.MatMulInto(dx, gradOut, l.W.Value)
+	return dx
 }
+
+// SetBufferReuse implements BufferReuser.
+func (l *Linear) SetBufferReuse(on bool) { l.reuse = on }
 
 // Params implements Layer.
 func (l *Linear) Params() []*Param {
@@ -119,15 +139,26 @@ func (l *Linear) OutDim() int { return l.Out }
 // CombinedGrad implements KFACCapturable: [out, in(+1)] with the bias
 // gradient in the final column when present.
 func (l *Linear) CombinedGrad() *tensor.Tensor {
+	var g *tensor.Tensor
 	if l.B == nil {
-		return l.W.Grad.Clone()
+		g = tensor.New(l.Out, l.In)
+	} else {
+		g = tensor.New(l.Out, l.In+1)
 	}
-	g := tensor.New(l.Out, l.In+1)
+	l.CombinedGradInto(g)
+	return g
+}
+
+// CombinedGradInto implements KFACCapturable.
+func (l *Linear) CombinedGradInto(g *tensor.Tensor) {
+	if l.B == nil {
+		g.CopyFrom(l.W.Grad)
+		return
+	}
 	for i := 0; i < l.Out; i++ {
 		copy(g.Data[i*(l.In+1):i*(l.In+1)+l.In], l.W.Grad.Data[i*l.In:(i+1)*l.In])
 		g.Data[i*(l.In+1)+l.In] = l.B.Grad.Data[i]
 	}
-	return g
 }
 
 // SetCombinedGrad implements KFACCapturable.

@@ -29,7 +29,14 @@ type BatchNorm2d struct {
 	invStd []float64
 	n      int // N·H·W per channel in last batch
 	shape  []int
+
+	reuse  bool
+	outBuf *tensor.Tensor
+	dxBuf  *tensor.Tensor
 }
+
+// SetBufferReuse implements BufferReuser.
+func (b *BatchNorm2d) SetBufferReuse(on bool) { b.reuse = on }
 
 // NewBatchNorm2d constructs a BatchNorm layer with γ=1, β=0.
 func NewBatchNorm2d(name string, c int) *BatchNorm2d {
@@ -55,8 +62,12 @@ func (b *BatchNorm2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	spatial := h * w
 	cnt := n * spatial
 	b.n = cnt
-	out := tensor.New(n, c, h, w)
-	b.xhat = tensor.New(n, c, h, w)
+	out := ensureBuf(b.reuse, &b.outBuf, n, c, h, w)
+	if b.reuse {
+		tensor.Ensure(&b.xhat, n, c, h, w)
+	} else {
+		b.xhat = tensor.New(n, c, h, w)
+	}
 	if b.invStd == nil || len(b.invStd) != c {
 		b.invStd = make([]float64, c)
 	}
@@ -112,7 +123,7 @@ func (b *BatchNorm2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	n, c := b.shape[0], b.shape[1]
 	spatial := b.shape[2] * b.shape[3]
 	cnt := float64(b.n)
-	dx := tensor.New(b.shape...)
+	dx := ensureBuf(b.reuse, &b.dxBuf, b.shape...)
 	for ch := 0; ch < c; ch++ {
 		g := b.Gamma.Value.Data[ch]
 		var sumDy, sumDyXhat float64

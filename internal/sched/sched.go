@@ -21,6 +21,7 @@ import (
 // executed by at most `workers` goroutines; Submit never blocks the caller.
 type Pool struct {
 	tasks chan func()
+	rjobs chan rangeJob
 	wg    sync.WaitGroup // tracks in-flight + queued tasks
 
 	mu      sync.Mutex
@@ -37,6 +38,7 @@ func NewPool(workers int) *Pool {
 	p := &Pool{
 		// Buffer a healthy queue so producers rarely need the overflow path.
 		tasks:   make(chan func(), 4*workers),
+		rjobs:   make(chan rangeJob, 4*workers),
 		workers: workers,
 	}
 	for i := 0; i < workers; i++ {
@@ -46,10 +48,76 @@ func NewPool(workers int) *Pool {
 }
 
 func (p *Pool) worker() {
-	for fn := range p.tasks {
-		fn()
-		p.wg.Done()
+	for {
+		select {
+		case fn, ok := <-p.tasks:
+			if !ok {
+				return
+			}
+			fn()
+			p.wg.Done()
+		case rj := <-p.rjobs:
+			rj.r.RunRange(rj.lo, rj.hi)
+			rj.done.Done()
+			p.wg.Done()
+		}
 	}
+}
+
+// Ranger is a leaf compute kernel over a half-open row range. Implementations
+// are typically small reusable structs (drawn from a sync.Pool by the caller)
+// carrying the kernel's operands, so a ForEach dispatch allocates nothing.
+type Ranger interface {
+	RunRange(lo, hi int)
+}
+
+// rangeJob is one ForEach chunk. It travels by value through a buffered
+// channel, so dispatching a chunk performs no heap allocation.
+type rangeJob struct {
+	r      Ranger
+	lo, hi int
+	done   *sync.WaitGroup
+}
+
+// ForEach splits [0, m) into up to nchunks contiguous ranges, runs them on
+// the pool's workers, and blocks until all complete. done is caller-provided
+// scratch (usually embedded in the Ranger) and must have a zero count on
+// entry. When the job queue is full the caller runs the chunk inline, so
+// ForEach never spawns goroutines and never allocates — the property the
+// zero-allocation tensor kernels rely on.
+//
+// Like all pool tasks, ranges must be pure leaf compute: a RunRange that
+// itself called ForEach on the same pool could leave every worker blocked
+// waiting for chunks nobody can run.
+func (p *Pool) ForEach(m, nchunks int, r Ranger, done *sync.WaitGroup) {
+	if m <= 0 {
+		return
+	}
+	if nchunks > m {
+		nchunks = m
+	}
+	if nchunks <= 1 {
+		r.RunRange(0, m)
+		return
+	}
+	chunk := (m + nchunks - 1) / nchunks
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		done.Add(1)
+		p.wg.Add(1)
+		select {
+		case p.rjobs <- rangeJob{r: r, lo: lo, hi: hi, done: done}:
+		default:
+			// Queue full: run inline rather than block or spawn.
+			r.RunRange(lo, hi)
+			done.Done()
+			p.wg.Done()
+		}
+	}
+	done.Wait()
 }
 
 // Workers returns the pool's concurrency bound.
@@ -91,6 +159,24 @@ func (p *Pool) Close() {
 	p.mu.Unlock()
 	p.wg.Wait()
 	close(p.tasks)
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide compute pool used by the blocked
+// linear-algebra kernels in internal/tensor and internal/linalg. It is
+// created on first use with GOMAXPROCS workers and is never closed.
+//
+// Tasks submitted to the shared pool must be pure leaf compute: they must
+// not themselves submit to (and wait on) the shared pool, or a full queue
+// could leave every worker blocked waiting for subtasks that can no longer
+// be scheduled. Blocking work belongs on a Group or a dedicated Pool.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(0) })
+	return sharedPool
 }
 
 // Group runs goroutines that may block (on channels, network handles, or

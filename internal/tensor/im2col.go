@@ -13,6 +13,21 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
 	cols := New(n*outH*outW, c*kh*kw)
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a caller-provided destination of shape
+// [N*outH*outW, C*kh*kw]. The destination is fully overwritten (padding
+// positions are zeroed explicitly), so reused workspace buffers are safe.
+func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if cols.Shape[0] != n*outH*outW || cols.Shape[1] != c*kh*kw {
+		panic("tensor: Im2ColInto shape mismatch")
+	}
+	cols.Zero()
 	colW := c * kh * kw
 	for img := 0; img < n; img++ {
 		base := img * c * h * w
@@ -44,7 +59,6 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im scatters the column matrix back into image space, accumulating
@@ -52,9 +66,18 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 // input-gradient of convolution. cols has shape [N*outH*outW, C*kh*kw]; the
 // result has shape [N, C, H, W].
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	x := New(n, c, h, w)
+	Col2ImInto(x, cols, kh, kw, stride, pad)
+	return x
+}
+
+// Col2ImInto is Col2Im accumulating into a caller-provided [N, C, H, W]
+// destination, which it zeroes first.
+func Col2ImInto(x, cols *Tensor, kh, kw, stride, pad int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
-	x := New(n, c, h, w)
+	x.Zero()
 	colW := c * kh * kw
 	for img := 0; img < n; img++ {
 		base := img * c * h * w
@@ -85,7 +108,6 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return x
 }
 
 // ConvOutSize returns the spatial output size of a convolution or pooling

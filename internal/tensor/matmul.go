@@ -1,13 +1,8 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
-
-// parallelThreshold is the minimum number of multiply-adds below which
-// MatMul runs single-threaded; spawning goroutines for tiny products costs
-// more than it saves.
+// parallelThreshold is the minimum number of multiply-adds below which the
+// matmul kernels run single-threaded; dispatching pool work for tiny
+// products costs more than it saves.
 const parallelThreshold = 64 * 64 * 64
 
 // blockSize is the cache-blocking tile edge for the inner kernel. 64×64
@@ -27,7 +22,8 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = a × b, reusing dst's storage. dst must be m×n
-// and must not alias a or b.
+// and must not alias a or b. Large products are split across the shared
+// compute pool (sched.Shared) with bit-identical results to a serial run.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
@@ -35,33 +31,7 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic("tensor: MatMulInto shape mismatch")
 	}
 	dst.Zero()
-	work := m * n * k
-	nw := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || nw <= 1 || m < 2 {
-		matmulRange(dst.Data, a.Data, b.Data, 0, m, k, n)
-		return
-	}
-	if nw > m {
-		nw = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRange(dst.Data, a.Data, b.Data, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	runKernel(kindMatMul, dst.Data, a.Data, b.Data, m, k, n, m*n*k)
 }
 
 // matmulRange computes rows [lo,hi) of dst = a×b with i-k-j loop order and
@@ -117,7 +87,8 @@ func MatMulT1(a, b *Tensor) *Tensor {
 	return dst
 }
 
-// MatMulT1Into computes dst = aᵀ × b into dst (m×n).
+// MatMulT1Into computes dst = aᵀ × b into dst (m×n), splitting large
+// products across the shared compute pool.
 func MatMulT1Into(dst, a, b *Tensor) {
 	k, m := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
@@ -125,33 +96,7 @@ func MatMulT1Into(dst, a, b *Tensor) {
 		panic("tensor: MatMulT1Into shape mismatch")
 	}
 	dst.Zero()
-	work := m * n * k
-	nw := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || nw <= 1 || m < 2 {
-		matmulT1Range(dst.Data, a.Data, b.Data, 0, m, k, m, n)
-		return
-	}
-	if nw > m {
-		nw = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulT1Range(dst.Data, a.Data, b.Data, lo, hi, k, m, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	runKernel(kindMatMulT1, dst.Data, a.Data, b.Data, m, k, n, m*n*k)
 }
 
 // matmulT1Range computes rows [lo,hi) of dst = aᵀb where a is k×m
@@ -182,40 +127,15 @@ func MatMulT2(a, b *Tensor) *Tensor {
 	return dst
 }
 
-// MatMulT2Into computes dst = a × bᵀ into dst (m×n) where b is n×k.
+// MatMulT2Into computes dst = a × bᵀ into dst (m×n) where b is n×k,
+// splitting large products across the shared compute pool.
 func MatMulT2Into(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[0]
 	if b.Shape[1] != k || dst.Shape[0] != m || dst.Shape[1] != n {
 		panic("tensor: MatMulT2Into shape mismatch")
 	}
-	work := m * n * k
-	nw := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || nw <= 1 || m < 2 {
-		matmulT2Range(dst.Data, a.Data, b.Data, 0, m, k, n)
-		return
-	}
-	if nw > m {
-		nw = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulT2Range(dst.Data, a.Data, b.Data, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	runKernel(kindMatMulT2, dst.Data, a.Data, b.Data, m, k, n, m*n*k)
 }
 
 // matmulT2Range computes rows [lo,hi) of dst = a×bᵀ. Both a's row i and

@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// kernelKind selects the row kernel a matRanger dispatches to.
+type kernelKind uint8
+
+const (
+	kindMatMul kernelKind = iota
+	kindMatMulT1
+	kindMatMulT2
+)
+
+// matRanger carries one blocked-matmul dispatch through the shared compute
+// pool. Instances are recycled via matRangerPool so a parallel kernel launch
+// performs zero heap allocations; the embedded WaitGroup is the completion
+// scratch sched.Pool.ForEach requires.
+type matRanger struct {
+	wg        sync.WaitGroup
+	kind      kernelKind
+	dst, a, b []float64
+	k, m, n   int
+}
+
+// RunRange implements sched.Ranger: rows [lo, hi) of the selected kernel.
+// Ranges are disjoint, and every destination element is produced by exactly
+// one range with the same per-element arithmetic as a serial run, so results
+// are bit-identical regardless of worker count.
+func (r *matRanger) RunRange(lo, hi int) {
+	switch r.kind {
+	case kindMatMul:
+		matmulRange(r.dst, r.a, r.b, lo, hi, r.k, r.n)
+	case kindMatMulT1:
+		matmulT1Range(r.dst, r.a, r.b, lo, hi, r.k, r.m, r.n)
+	case kindMatMulT2:
+		matmulT2Range(r.dst, r.a, r.b, lo, hi, r.k, r.n)
+	}
+}
+
+var matRangerPool = sync.Pool{New: func() any { return new(matRanger) }}
+
+// runKernel executes one matmul-family kernel over rows [0, m), splitting
+// across the shared compute pool when the multiply-add count is large enough
+// to amortize dispatch. work is m·n·k.
+func runKernel(kind kernelKind, dst, a, b []float64, m, k, n, work int) {
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw <= 1 || m < 2 {
+		switch kind {
+		case kindMatMul:
+			matmulRange(dst, a, b, 0, m, k, n)
+		case kindMatMulT1:
+			matmulT1Range(dst, a, b, 0, m, k, m, n)
+		case kindMatMulT2:
+			matmulT2Range(dst, a, b, 0, m, k, n)
+		}
+		return
+	}
+	r := matRangerPool.Get().(*matRanger)
+	r.kind, r.dst, r.a, r.b, r.k, r.m, r.n = kind, dst, a, b, k, m, n
+	sched.Shared().ForEach(m, nw, r, &r.wg)
+	r.dst, r.a, r.b = nil, nil, nil // don't pin operand memory in the pool
+	matRangerPool.Put(r)
+}

@@ -345,6 +345,15 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	c := s.comm
 	params := s.net.Params()
 
+	// The session consumes every layer output within the step that produced
+	// it, so workspace recycling is safe here and removes the per-step heap
+	// churn of forward/backward (see nn.BufferReuser). Results are
+	// bit-identical either way. Restored on exit: callers that keep using
+	// the net afterwards (inference loops comparing outputs across forward
+	// passes) get the default fresh-tensor contract back.
+	nn.SetBufferReuse(s.net, true)
+	defer nn.SetBufferReuse(s.net, false)
+
 	startEpoch, startStep := 0, 0
 	if s.resume != nil {
 		if err := s.resume.Restore(s.net); err != nil {

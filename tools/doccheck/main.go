@@ -1,0 +1,118 @@
+// Command doccheck fails when a package exports an identifier without a doc
+// comment — the repository's substitute for revive's `exported` rule, built
+// on go/ast alone so CI needs no third-party linter.
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./internal/kfac ./internal/comm ...
+//
+// It checks exported functions, methods (on exported receivers), types,
+// and var/const specs in non-test files. Grouped var/const declarations
+// are satisfied by a doc comment on the group. Exit status 1 lists every
+// undocumented export.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		dir = strings.TrimPrefix(dir, "./")
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, pkg := range pkgs {
+			for path, file := range pkg.Files {
+				bad += checkFile(fset, filepath.ToSlash(path), file)
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports undocumented exports in one parsed file.
+func checkFile(fset *token.FileSet, path string, file *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: undocumented exported %s %s\n", path, p.Line, kind, name)
+		bad++
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Methods on unexported receivers are not public API.
+			if d.Recv != nil && !receiverExported(d.Recv) {
+				continue
+			}
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			report(d.Pos(), kind, d.Name.Name)
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if groupDoc || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report(s.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// receiverExported reports whether a method's receiver type is exported.
+func receiverExported(fl *ast.FieldList) bool {
+	if len(fl.List) == 0 {
+		return false
+	}
+	t := fl.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true // conservatively check unknown shapes
+		}
+	}
+}
