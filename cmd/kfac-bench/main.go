@@ -11,7 +11,8 @@
 //	kfac-bench -exp chaos         # step-time degradation vs injected latency
 //	kfac-bench -all               # run everything
 //	kfac-bench -all -quick        # smoke-test scale (seconds instead of minutes)
-//	kfac-bench -json -out bench/  # write BENCH_*.json (sync vs pipelined × model sizes)
+//	kfac-bench -json -out bench/  # write BENCH_*.json (engines × model sizes,
+//	                              # plus the dist_* distribution-mode axis)
 //	kfac-bench -json -short       # tiny-model JSON smoke run (the CI artifact job)
 //
 // Each experiment prints its table/series to stdout together with the
@@ -47,7 +48,10 @@ Experiment selection:
   -quick        reduced-scale smoke runs (with -exp/-all)
 
 Benchmark JSON mode:
-  -json         run the step-engine benchmark matrix and write BENCH_<scenario>.json
+  -json         run the benchmark matrix and write BENCH_<scenario>.json:
+                the (model × engine) step-engine cells plus the dist_* axis
+                ({COMM-OPT, MEM-OPT, HYBRID} × grad-worker fraction at
+                world 4, with per-rank peak factor memory)
   -out DIR      output directory for BENCH_*.json (default ".")
   -short        tiny-model matrix for CI smoke jobs (with -json)
 

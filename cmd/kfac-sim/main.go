@@ -31,6 +31,11 @@ Scenario:
   -gpus N           worker count (default 64)
   -strategy NAME    roundrobin|layerwise|greedy factor placement
 
+Distribution plan (memory/communication tradeoff; see docs/ARCHITECTURE.md):
+  -dist-mode NAME   auto|commopt|memopt|hybrid — where eigenbases live and who
+                    preconditions; auto derives from -strategy
+  -grad-worker-frac F  hybrid gradient-worker fraction, 0 < F < 1
+
 K-FAC schedule:
   -freq N           kfac-update-freq; 0 selects the paper's scale-proportional value
   -sgd-epochs N     SGD epoch budget for the time-to-solution comparison (default 90)
@@ -43,6 +48,8 @@ Examples:
   kfac-sim -model resnet50 -gpus 64
   kfac-sim -model resnet152 -gpus 256 -freq 125 -strategy layerwise
   kfac-sim -model resnet101 -gpus 64 -workers
+  kfac-sim -model resnet50 -gpus 64 -dist-mode memopt
+  kfac-sim -model resnet50 -gpus 128 -dist-mode hybrid -grad-worker-frac 0.25
 `)
 }
 
@@ -52,6 +59,8 @@ func main() {
 		gpus       = flag.Int("gpus", 64, "worker count")
 		freq       = flag.Int("freq", 0, "kfac-update-freq (0 = paper's scale-proportional value)")
 		strategy   = flag.String("strategy", "roundrobin", "roundrobin|layerwise|greedy")
+		distMode   = flag.String("dist-mode", "auto", "auto|commopt|memopt|hybrid distribution plan")
+		gradFrac   = flag.Float64("grad-worker-frac", 0, "hybrid gradient-worker fraction (0 < F < 1)")
 		sgdEpochs  = flag.Int("sgd-epochs", 90, "SGD epoch budget")
 		kfacEpochs = flag.Int("kfac-epochs", 55, "K-FAC epoch budget")
 		workers    = flag.Bool("workers", false, "print per-worker eigendecomposition times")
@@ -76,6 +85,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
 		os.Exit(2)
 	}
+	var dmode kfac.DistMode
+	switch *distMode {
+	case "auto":
+		dmode = kfac.DistAuto
+	case "commopt":
+		dmode = kfac.CommOpt
+	case "memopt":
+		dmode = kfac.MemOpt
+	case "hybrid":
+		dmode = kfac.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -dist-mode %q (want auto, commopt, memopt, or hybrid)\n", *distMode)
+		os.Exit(2)
+	}
+	if dmode == kfac.Hybrid && (*gradFrac <= 0 || *gradFrac >= 1) {
+		fmt.Fprintf(os.Stderr, "-dist-mode hybrid needs -grad-worker-frac strictly between 0 and 1 (got %v)\n", *gradFrac)
+		os.Exit(2)
+	}
+	if dmode != kfac.Hybrid && *gradFrac != 0 {
+		fmt.Fprintf(os.Stderr, "-grad-worker-frac requires -dist-mode hybrid\n")
+		os.Exit(2)
+	}
 
 	m := simulate.NewModel(simulate.DefaultV100Cluster(), simulate.ImageNetWorkload(cat))
 	f := *freq
@@ -85,6 +116,20 @@ func main() {
 
 	fmt.Printf("model %s: %.1fM params, %d K-FAC layers, %d iterations/epoch at %d GPUs\n",
 		cat.Name, float64(cat.TotalParams())/1e6, len(cat.Layers), m.IterationsPerEpoch(*gpus), *gpus)
+
+	// Resolve the real distribution plan over the catalog's exact factor
+	// dimensions and report the per-rank eigenbasis footprint — the memory
+	// side of the MEM-OPT/COMM-OPT tradeoff (FP32 on the modeled cluster).
+	plan := kfac.BuildPlan(strat, dmode, *gradFrac, cat.FactorRefs(), *gpus)
+	elems := plan.DecompElemsPerRank(cat.FactorRefs())
+	sortedElems := append([]int64(nil), elems...)
+	sort.Slice(sortedElems, func(a, b int) bool { return sortedElems[a] < sortedElems[b] })
+	const fp32 = 4.0 / 1e6 // bytes per element → MB
+	fmt.Printf("plan %s\n", plan)
+	fmt.Printf("eigenbasis memory/rank: min %.1f MB, median %.1f MB, max %.1f MB (COMM-OPT would hold %.1f MB everywhere)\n",
+		float64(sortedElems[0])*fp32, float64(sortedElems[len(sortedElems)/2])*fp32,
+		float64(sortedElems[len(sortedElems)-1])*fp32,
+		float64(maxElems(kfac.BuildPlan(strat, kfac.CommOpt, 0, cat.FactorRefs(), *gpus).DecompElemsPerRank(cat.FactorRefs())))*fp32)
 	fmt.Printf("per-iteration: fwd+bwd %.1f ms, SGD iter %.1f ms, %s iter %.1f ms (freq %d)\n",
 		m.FwdBwdTime()*1e3, m.SGDIterTime(*gpus)*1e3,
 		strat, m.KFACIterAvgTime(*gpus, f, strat)*1e3, f)
@@ -118,4 +163,15 @@ func main() {
 		}
 		fmt.Printf("busy workers: %d of %d (idle workers are the §IV scaling concern)\n", busy, *gpus)
 	}
+}
+
+// maxElems returns the largest per-rank element count.
+func maxElems(elems []int64) int64 {
+	var m int64
+	for _, v := range elems {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }

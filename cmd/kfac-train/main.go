@@ -65,6 +65,16 @@ K-FAC (with -optimizer kfac):
   -inv-freq N                          eigendecomposition interval (default 10)
   -factor-freq N                       factor update interval (default 1)
 
+Distribution plan (with -optimizer kfac; see docs/ARCHITECTURE.md):
+  -dist-mode {auto,commopt,memopt,hybrid}  memory/communication tradeoff:
+                                       commopt replicates eigenbases everywhere,
+                                       memopt keeps them on owners and broadcasts
+                                       preconditioned gradients each iteration,
+                                       hybrid interpolates (needs -grad-worker-frac)
+  -grad-worker-frac F                  hybrid gradient-worker fraction, 0 < F < 1
+  -group-size N                        hierarchical allreduce: N consecutive ranks
+                                       per group for gradient/factor exchange (N ≥ 2)
+
 Chaos injection (needs -world > 1):
   -chaos                  enable fault injection on the in-process fabric
   -chaos-seed N           schedule seed (same seed replays the same faults)
@@ -77,9 +87,13 @@ Examples:
   kfac-train -optimizer kfac -engine pipelined -world 4
   kfac-train -optimizer sgd -epochs 12 -batch 64
   kfac-train -optimizer kfac -strategy layerwise -inv-freq 20
+  kfac-train -optimizer kfac -world 4 -dist-mode memopt
+  kfac-train -optimizer kfac -world 8 -dist-mode hybrid -grad-worker-frac 0.25
+  kfac-train -optimizer kfac -world 8 -group-size 4
   kfac-train -world 4 -chaos -chaos-latency 500us -chaos-drop 0.05
 
-Tuning guidance (engine choice, staleness, fusion): docs/PERFORMANCE.md.
+Tuning guidance (engine choice, staleness, fusion, distribution modes):
+docs/PERFORMANCE.md.
 `)
 }
 
@@ -96,6 +110,9 @@ func main() {
 		damping   = flag.Float64("damping", 1e-3, "K-FAC Tikhonov damping γ")
 		invFreq   = flag.Int("inv-freq", 10, "kfac-update-freq (eigendecomposition interval)")
 		facFreq   = flag.Int("factor-freq", 1, "factor update interval")
+		distMode  = flag.String("dist-mode", "auto", "distribution plan: auto, commopt, memopt, or hybrid")
+		gradFrac  = flag.Float64("grad-worker-frac", 0, "hybrid gradient-worker fraction (0 < F < 1; requires -dist-mode hybrid)")
+		groupSize = flag.Int("group-size", 0, "hierarchical allreduce group size (0 = flat ring, else ≥ 2)")
 		width     = flag.Int("width", 8, "model width (ResNet stem channels)")
 		blocks    = flag.Int("blocks", 1, "residual blocks per stage")
 		seed      = flag.Int64("seed", 42, "random seed")
@@ -128,11 +145,57 @@ func main() {
 		trainer.WithSeed(*seed),
 		trainer.WithLogger(os.Stdout),
 	}
+	if *optimizer != "kfac" {
+		// The distribution-plan and grouped-allreduce knobs configure the
+		// K-FAC preconditioner; silently ignoring them under SGD would hide
+		// typos, so reject the combination outright.
+		if *distMode != "auto" || *gradFrac != 0 || *groupSize != 0 {
+			fmt.Fprintln(os.Stderr, "-dist-mode/-grad-worker-frac/-group-size require -optimizer kfac")
+			os.Exit(2)
+		}
+	}
 	if *optimizer == "kfac" {
 		kopts := []kfac.Option{
 			kfac.WithDamping(*damping),
 			kfac.WithInvUpdateFreq(*invFreq),
 			kfac.WithFactorUpdateFreq(*facFreq),
+		}
+		switch *distMode {
+		case "auto":
+			if *gradFrac != 0 {
+				fmt.Fprintln(os.Stderr, "-grad-worker-frac requires -dist-mode hybrid")
+				os.Exit(2)
+			}
+		case "commopt", "memopt":
+			if *gradFrac != 0 {
+				fmt.Fprintf(os.Stderr, "-grad-worker-frac conflicts with -dist-mode %s (the fraction is fixed there; use hybrid)\n", *distMode)
+				os.Exit(2)
+			}
+			m := kfac.CommOpt
+			if *distMode == "memopt" {
+				m = kfac.MemOpt
+			}
+			kopts = append(kopts, kfac.WithDistMode(m))
+		case "hybrid":
+			if *gradFrac <= 0 || *gradFrac >= 1 {
+				fmt.Fprintf(os.Stderr, "-dist-mode hybrid needs -grad-worker-frac strictly between 0 and 1 (got %v); use commopt/memopt for the endpoints\n", *gradFrac)
+				os.Exit(2)
+			}
+			kopts = append(kopts, kfac.WithGradWorkerFrac(*gradFrac))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -dist-mode %q (want auto, commopt, memopt, or hybrid)\n", *distMode)
+			os.Exit(2)
+		}
+		if *groupSize != 0 {
+			if *groupSize < 2 {
+				fmt.Fprintf(os.Stderr, "-group-size must be 0 (flat) or ≥ 2, got %d\n", *groupSize)
+				os.Exit(2)
+			}
+			if *groupSize >= *world {
+				fmt.Fprintf(os.Stderr, "-group-size %d is not smaller than -world %d: the hierarchy would be a single group (use 0 for the flat ring)\n", *groupSize, *world)
+				os.Exit(2)
+			}
+			kopts = append(kopts, kfac.WithGroupSize(*groupSize))
 		}
 		switch *strategy {
 		case "layerwise":

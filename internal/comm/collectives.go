@@ -208,23 +208,34 @@ func (c *Communicator) AllreduceMean(data []float64) error {
 // over a binomial tree: log₂(p) rounds.
 func (c *Communicator) Broadcast(data []float64, root int) error {
 	p := c.Size()
+	base := c.nextOp()
 	if p == 1 {
 		return nil
 	}
 	r := c.Rank()
-	base := c.nextOp()
 	rel := mod(r-root, p)
-	for offset := 1; offset < p; offset <<= 1 {
+	return c.broadcastTree(data, base, rel, p, func(peerRel int) int {
+		return mod(peerRel+root, p)
+	})
+}
+
+// broadcastTree runs the binomial-tree broadcast over a logical ordering of
+// size members in which relative position 0 is the root; rankOf maps a
+// relative position to its transport rank. rel is this participant's own
+// relative position. Tags are opTag(base, offset) — identical to the layout
+// Broadcast has always used, so the full-world case is wire-compatible.
+func (c *Communicator) broadcastTree(data []float64, base uint64, rel, size int, rankOf func(int) int) error {
+	for offset := 1; offset < size; offset <<= 1 {
 		if rel < offset {
 			// Already have the data; forward to rel+offset if it exists.
 			peer := rel + offset
-			if peer < p {
-				if err := c.t.Send(mod(peer+root, p), opTag(base, offset), data); err != nil {
+			if peer < size {
+				if err := c.t.Send(rankOf(peer), opTag(base, offset), data); err != nil {
 					return err
 				}
 			}
 		} else if rel < 2*offset {
-			in, err := c.recv(mod(rel-offset+root, p), opTag(base, offset))
+			in, err := c.recv(rankOf(rel-offset), opTag(base, offset))
 			if err != nil {
 				return err
 			}

@@ -59,6 +59,7 @@ func (ch *Chunk) Wait() error {
 type Fuser struct {
 	comm      *Communicator
 	limit     int // bytes
+	groupSize int // ≥2 routes chunks through the hierarchical allreduce
 	pending   []*tensor.Tensor
 	pendingSz int // bytes
 	launched  []*Chunk
@@ -73,6 +74,15 @@ func NewFuser(comm *Communicator, limitBytes int) *Fuser {
 	}
 	return &Fuser{comm: comm, limit: limitBytes}
 }
+
+// SetGroupSize routes every subsequently launched chunk through
+// HierarchicalAllreduceMean with the given intra-group rank count — the
+// two-level algorithm modeling fast intra-node links (kfac.WithGroupSize /
+// kfac-train -group-size). Values ≤ 1 (and ≥ world) keep the flat ring.
+// Must be set identically on every rank, before the first Add whose chunk
+// it should affect; chunk boundaries are unaffected, so the collective
+// schedule stays deterministic.
+func (f *Fuser) SetGroupSize(n int) { f.groupSize = n }
 
 // Add enqueues t for averaging. When the pending set reaches the fusion
 // threshold, an asynchronous fused allreduce is launched. A single tensor
@@ -106,7 +116,11 @@ func (f *Fuser) launch() {
 	if total > 0 {
 		// Zero-element chunks (all-empty tensors) need no wire traffic; every
 		// rank sees the same sizes, so all skip identically.
-		h = f.comm.AllreduceMeanAsync(buf)
+		if f.groupSize > 1 {
+			h = f.comm.HierarchicalAllreduceMeanAsync(buf, f.groupSize)
+		} else {
+			h = f.comm.AllreduceMeanAsync(buf)
+		}
 	}
 	f.launched = append(f.launched, &Chunk{h: h, buf: buf, tensors: f.pending})
 	f.pending = nil

@@ -15,14 +15,47 @@ import (
 //  3. intra-group broadcast of the result from each leader.
 //
 // groupSize is the number of consecutive ranks per group (a trailing group
-// may be smaller). The result equals AllreduceMean exactly.
+// may be smaller). Every rank receives the identical leader-computed
+// result. The sum is grouped differently than the flat ring's, so for
+// arbitrary floating-point inputs the result agrees with AllreduceMean to
+// rounding (and exactly — bit for bit — whenever the sums are exactly
+// representable, e.g. integer-valued data; see
+// TestHierarchicalBitEqualsFlatOnIntegerData).
 func (c *Communicator) HierarchicalAllreduceMean(data []float64, groupSize int) error {
+	return c.hierarchicalMeanTagged(data, groupSize, c.nextOp())
+}
+
+// HierarchicalAllreduceMeanAsync starts an asynchronous hierarchical
+// mean-allreduce; the gradient/factor fusion path uses it when a group
+// size is configured (Fuser.SetGroupSize). The tag namespace is reserved
+// synchronously at call time, like every other async collective.
+func (c *Communicator) HierarchicalAllreduceMeanAsync(data []float64, groupSize int) *Handle {
+	base := c.nextOp()
+	h := &Handle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.err = c.hierarchicalMeanTagged(data, groupSize, base)
+	}()
+	return h
+}
+
+// hierarchicalMeanTagged is the hierarchical mean-allreduce body with an
+// externally reserved tag base. Degenerate group sizes (≤1, or ≥ world)
+// fall back to the flat ring within the same tag namespace, so exactly one
+// namespace is consumed per call on every rank.
+func (c *Communicator) hierarchicalMeanTagged(data []float64, groupSize int, base uint64) error {
 	p := c.Size()
 	if groupSize <= 1 || groupSize >= p {
-		return c.AllreduceMean(data)
+		if err := c.allreduceSumTagged(data, base); err != nil {
+			return err
+		}
+		inv := 1 / float64(p)
+		for i := range data {
+			data[i] *= inv
+		}
+		return nil
 	}
 	r := c.Rank()
-	base := c.nextOp()
 	group := r / groupSize
 	leader := group * groupSize
 	numGroups := (p + groupSize - 1) / groupSize

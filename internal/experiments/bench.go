@@ -12,13 +12,16 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/comm"
 	"repro/internal/kfac"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -34,9 +37,19 @@ const BenchSchema = "kfac-bench/v1"
 // durations are nanoseconds; alloc metrics are per executed step.
 type BenchResult struct {
 	Schema   string `json:"schema"`
-	Scenario string `json:"scenario"` // "<model>_<engine>"
+	Scenario string `json:"scenario"` // "<model>_<engine>" or "dist_<model>_w<world>_<mode>"
 	Model    string `json:"model"`
 	Engine   string `json:"engine"`
+
+	// Distribution axis. Single-process scenarios report world 1 and the
+	// resolved COMM-OPT plan; dist_* scenarios sweep
+	// {COMM-OPT, MEM-OPT, HYBRID} × grad-worker fraction at world > 1,
+	// with per-rank peak factor memory recorded alongside step time — the
+	// measured memory-vs-communication tradeoff.
+	World                  int     `json:"world"`
+	DistMode               string  `json:"dist_mode"`
+	GradWorkerFrac         float64 `json:"grad_worker_frac"`
+	PeakFactorBytesPerRank []int64 `json:"peak_factor_bytes_per_rank"`
 	// Environment, for comparing trajectories across hosts.
 	GoMaxProcs int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version"`
@@ -96,32 +109,235 @@ func benchMatrix(short bool) []benchScenario {
 	}
 }
 
-// RunBenchJSON executes the benchmark matrix and writes one
-// BENCH_<scenario>.json per scenario into outDir, returning the file
-// paths. Scenarios respect ctx cancellation between steps.
+// distScenario is one cell of the distribution-mode benchmark axis: a
+// multi-rank in-process run of one (model, mode, grad-worker fraction)
+// combination.
+type distScenario struct {
+	name   string
+	mode   kfac.DistMode
+	frac   float64
+	model  string
+	blocks int
+	width  int
+	batch  int
+	world  int
+	steps  int
+}
+
+// distMatrix returns the {mode, gradWorkerFrac} scenario axis. The four
+// cells cover both endpoints of the memory/communication tradeoff and two
+// HYBRID interpolations; -short shrinks the model for the CI smoke job.
+func distMatrix(short bool) []distScenario {
+	model, blocks, width, batch, steps := "small", 1, 8, 8, 8
+	if short {
+		model, blocks, width, batch, steps = "tiny", 1, 4, 4, 4
+	}
+	const world = 4
+	cells := []struct {
+		name string
+		mode kfac.DistMode
+		frac float64
+	}{
+		{"commopt", kfac.CommOpt, 0},
+		{"memopt", kfac.MemOpt, 0},
+		{"hybrid25", kfac.Hybrid, 0.25},
+		{"hybrid50", kfac.Hybrid, 0.5},
+	}
+	out := make([]distScenario, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, distScenario{
+			name: c.name, mode: c.mode, frac: c.frac,
+			model: model, blocks: blocks, width: width, batch: batch,
+			world: world, steps: steps,
+		})
+	}
+	return out
+}
+
+// RunBenchJSON executes the benchmark matrix — the single-process
+// (model × engine) cells plus the distributed {mode, gradWorkerFrac} axis
+// — and writes one BENCH_<scenario>.json per scenario into outDir,
+// returning the file paths. Scenarios respect ctx cancellation between
+// steps.
 func RunBenchJSON(ctx context.Context, outDir string, short bool, seed int64) ([]string, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
 	var paths []string
+	write := func(res *BenchResult) error {
+		path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", res.Scenario))
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
 	for _, sc := range benchMatrix(short) {
 		for _, engine := range sc.engines {
 			res, err := runBenchScenario(ctx, sc, engine, seed)
 			if err != nil {
 				return paths, fmt.Errorf("bench %s_%s: %w", sc.model, engine, err)
 			}
-			path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", res.Scenario))
-			data, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
+			if err := write(res); err != nil {
 				return paths, err
 			}
-			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-				return paths, err
-			}
-			paths = append(paths, path)
+		}
+	}
+	for _, sc := range distMatrix(short) {
+		res, err := runDistBenchScenario(ctx, sc, seed)
+		if err != nil {
+			return paths, fmt.Errorf("bench dist %s: %w", sc.name, err)
+		}
+		if err := write(res); err != nil {
+			return paths, err
 		}
 	}
 	return paths, nil
+}
+
+// runDistBenchScenario measures one distribution-mode cell: world ranks in
+// lockstep over an in-process fabric, every rank training the same model
+// on the same data (so the measured cost is the distribution machinery,
+// not data divergence). Step wall time is rank 0's; the per-rank peak
+// factor memory comes from each rank's StageStats.
+func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*BenchResult, error) {
+	const facFreq, invFreq = 2, 4
+	fab := comm.NewInprocFabric(sc.world)
+	// Hard-abort context for the communicators: a rank that stops early
+	// (cancellation, step error) would otherwise leave its peers blocked
+	// forever inside a collective on the in-process fabric. Cancelling it
+	// fails their receives fast so wg.Wait always returns.
+	abortCtx, abort := context.WithCancel(context.Background())
+	defer abort()
+	res := &BenchResult{
+		Schema:   BenchSchema,
+		Scenario: fmt.Sprintf("dist_%s_w%d_%s", sc.model, sc.world, sc.name),
+		Model:    sc.model,
+		Engine:   kfac.EngineSync.String(),
+
+		World:                  sc.world,
+		PeakFactorBytesPerRank: make([]int64, sc.world),
+
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		BatchSize:  sc.batch,
+
+		Steps:            sc.steps,
+		FactorUpdateFreq: facFreq,
+		InvUpdateFreq:    invFreq,
+	}
+
+	errs := make([]error, sc.world)
+	var wg sync.WaitGroup
+	for r := 0; r < sc.world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if errs[r] != nil {
+					abort()
+				}
+			}()
+			rng := rand.New(rand.NewSource(seed))
+			net := models.BuildCIFARResNet(sc.blocks, sc.width, 3, 10, rng)
+			nn.SetBufferReuse(net, true)
+			c := comm.NewCommunicator(fab.Endpoint(r)).WithContext(abortCtx)
+			prec := kfac.NewFromOptions(net, c, kfac.Options{
+				FactorUpdateFreq: facFreq, InvUpdateFreq: invFreq, Damping: 1e-3,
+				DistMode: sc.mode, GradWorkerFrac: sc.frac,
+			})
+			defer prec.Close()
+			if r == 0 {
+				plan := prec.Plan()
+				res.DistMode = plan.Mode.String()
+				res.GradWorkerFrac = plan.GradWorkerFrac
+				res.Params = nn.ParamCount(net)
+				res.KFACLayers = prec.NumLayers()
+			}
+
+			ce := nn.CrossEntropy{}
+			x := tensor.Randn(rng, 1, sc.batch, 3, 16, 16)
+			labels := make([]int, sc.batch)
+			for i := range labels {
+				labels[i] = rng.Intn(10)
+			}
+			params := net.Params()
+			step := func() error {
+				out := net.Forward(x, true)
+				_, grad := ce.Loss(out, labels)
+				for _, p := range params {
+					p.ZeroGrad()
+				}
+				net.Backward(grad)
+				return prec.Step(0.1)
+			}
+			// Warmup: first factor + decomposition update, workspaces settle.
+			for i := 0; i < 2; i++ {
+				if err := ctx.Err(); err != nil {
+					errs[r] = err
+					return
+				}
+				if errs[r] = step(); errs[r] != nil {
+					return
+				}
+			}
+			statsBefore := prec.Stats().Snapshot()
+			var total, min, max time.Duration
+			for i := 0; i < sc.steps; i++ {
+				if err := ctx.Err(); err != nil {
+					errs[r] = err
+					return
+				}
+				t0 := time.Now()
+				if errs[r] = step(); errs[r] != nil {
+					return
+				}
+				d := time.Since(t0)
+				total += d
+				if min == 0 || d < min {
+					min = d
+				}
+				if d > max {
+					max = d
+				}
+			}
+			statsAfter := prec.Stats().Snapshot()
+			res.PeakFactorBytesPerRank[r] = statsAfter.PeakFactorBytes
+			if r == 0 {
+				res.StepTimeMeanNS = int64(total) / int64(sc.steps)
+				res.StepTimeMinNS = int64(min)
+				res.StepTimeMaxNS = int64(max)
+				res.FactorComputeNS = int64(statsAfter.FactorCompute - statsBefore.FactorCompute)
+				res.FactorCommNS = int64(statsAfter.FactorComm - statsBefore.FactorComm)
+				res.EigComputeNS = int64(statsAfter.EigCompute - statsBefore.EigCompute)
+				res.EigCommNS = int64(statsAfter.EigComm - statsBefore.EigComm)
+				res.PreconditionNS = int64(statsAfter.Precondition - statsBefore.Precondition)
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Prefer the originating failure over the context errors the hard
+	// abort induced in peers.
+	var ctxErr error
+	for r, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled):
+			if ctxErr == nil {
+				ctxErr = fmt.Errorf("rank %d: %w", r, err)
+			}
+		default:
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return res, nil
 }
 
 // runBenchScenario measures one scenario. The model trains on synthetic
@@ -136,16 +352,20 @@ func runBenchScenario(ctx context.Context, sc benchScenario, engine kfac.Engine,
 	})
 	defer prec.Close()
 
+	plan := prec.Plan()
 	res := &BenchResult{
-		Schema:     BenchSchema,
-		Scenario:   fmt.Sprintf("%s_%s", sc.model, engine),
-		Model:      sc.model,
-		Engine:     engine.String(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-		Params:     nn.ParamCount(net),
-		KFACLayers: prec.NumLayers(),
-		BatchSize:  sc.batch,
+		Schema:         BenchSchema,
+		Scenario:       fmt.Sprintf("%s_%s", sc.model, engine),
+		Model:          sc.model,
+		Engine:         engine.String(),
+		World:          1,
+		DistMode:       plan.Mode.String(),
+		GradWorkerFrac: plan.GradWorkerFrac,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GoVersion:      runtime.Version(),
+		Params:         nn.ParamCount(net),
+		KFACLayers:     prec.NumLayers(),
+		BatchSize:      sc.batch,
 
 		Steps:            sc.steps,
 		FactorUpdateFreq: facFreq,
@@ -239,5 +459,6 @@ func runBenchScenario(ctx context.Context, sc benchScenario, engine kfac.Engine,
 	res.SteadyStepTimeNS = int64(steadyTotal) / int64(steadySteps)
 	res.SteadyAllocsPerStep = float64(ms1.Mallocs-ms0.Mallocs) / float64(steadySteps)
 	res.SteadyBytesPerStep = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(steadySteps)
+	res.PeakFactorBytesPerRank = []int64{prec.Stats().Snapshot().PeakFactorBytes}
 	return res, nil
 }

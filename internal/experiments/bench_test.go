@@ -18,9 +18,11 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) != 2 { // tiny × {sync, pipelined}
-		t.Fatalf("got %d result files, want 2", len(paths))
+	// tiny × {sync, pipelined} plus the four dist_* mode cells.
+	if len(paths) != 6 {
+		t.Fatalf("got %d result files, want 6", len(paths))
 	}
+	distSeen := 0
 	for _, p := range paths {
 		if base := filepath.Base(p); base[:6] != "BENCH_" {
 			t.Errorf("result file %q does not follow BENCH_<scenario>.json", base)
@@ -38,6 +40,7 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 		}
 		for _, key := range []string{
 			"scenario", "model", "engine", "steps",
+			"world", "dist_mode", "grad_worker_frac", "peak_factor_bytes_per_rank",
 			"step_time_mean_ns", "allocs_per_step", "bytes_per_step",
 			"factor_compute_ns", "eig_compute_ns", "precondition_ns", "overlap_ns",
 			"steady_steps", "steady_step_time_mean_ns",
@@ -51,6 +54,28 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 		if v, ok := doc["step_time_mean_ns"].(float64); !ok || v <= 0 {
 			t.Errorf("%s: step_time_mean_ns = %v, want > 0", p, doc["step_time_mean_ns"])
 		}
+		var typed BenchResult
+		if err := json.Unmarshal(raw, &typed); err != nil {
+			t.Fatal(err)
+		}
+		if typed.World > 1 {
+			distSeen++
+			if len(typed.PeakFactorBytesPerRank) != typed.World {
+				t.Errorf("%s: %d per-rank memory entries for world %d",
+					p, len(typed.PeakFactorBytesPerRank), typed.World)
+			}
+			for r, b := range typed.PeakFactorBytesPerRank {
+				if b <= 0 {
+					t.Errorf("%s: rank %d peak factor bytes = %d, want > 0", p, r, b)
+				}
+			}
+			if typed.DistMode == "" || typed.GradWorkerFrac <= 0 {
+				t.Errorf("%s: dist axis not recorded: mode=%q f=%v", p, typed.DistMode, typed.GradWorkerFrac)
+			}
+		}
+	}
+	if distSeen != 4 {
+		t.Errorf("saw %d dist_* scenarios, want 4", distSeen)
 	}
 	// A round-trip through the typed struct must preserve the schema tag
 	// (catches accidental field renames).

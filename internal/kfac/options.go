@@ -36,6 +36,31 @@ func WithMode(m Mode) Option { return func(o *Options) { o.Mode = m } }
 // RoundRobin, the paper's K-FAC-opt).
 func WithStrategy(s Strategy) Option { return func(o *Options) { o.Strategy = s } }
 
+// WithDistMode selects the memory/communication tradeoff of the
+// distribution plan: CommOpt replicates eigenbases everywhere (local
+// preconditioning, zero per-iteration traffic), MemOpt keeps them on
+// owners and distributes preconditioned gradients each iteration, Hybrid
+// interpolates via WithGradWorkerFrac. Default DistAuto derives the mode
+// from the strategy (LayerWise → MemOpt, else CommOpt).
+func WithDistMode(m DistMode) Option { return func(o *Options) { o.DistMode = m } }
+
+// WithGradWorkerFrac selects Hybrid distribution with each layer's
+// gradient-worker set sized to ⌈f·world⌉ ranks (clamped to [1, world]):
+// f→0 approaches MemOpt, f=1 is CommOpt. The knob that trades per-rank
+// eigenbasis memory against per-iteration broadcast traffic.
+func WithGradWorkerFrac(f float64) Option {
+	return func(o *Options) {
+		o.DistMode = Hybrid
+		o.GradWorkerFrac = f
+	}
+}
+
+// WithGroupSize routes the factor allreduce and the trainer's gradient
+// exchange through comm.HierarchicalAllreduceMean with this many
+// consecutive ranks per group (≥ 2; 0 keeps the flat ring). Results agree
+// with the flat ring to rounding — exactly on integer-representable sums.
+func WithGroupSize(n int) Option { return func(o *Options) { o.GroupSize = n } }
+
 // WithDamping sets the Tikhonov regularizer γ (default 0.001).
 func WithDamping(g float64) Option { return func(o *Options) { o.Damping = g } }
 

@@ -40,6 +40,23 @@ func TestBuildResolvesOptions(t *testing.T) {
 	}
 }
 
+func TestDistributionOptions(t *testing.T) {
+	o := Build(WithDistMode(MemOpt), WithGroupSize(4))
+	if o.DistMode != MemOpt || o.GroupSize != 4 {
+		t.Errorf("Build = %+v", o)
+	}
+	// WithGradWorkerFrac selects Hybrid and carries the fraction.
+	o = Build(WithGradWorkerFrac(0.25))
+	if o.DistMode != Hybrid || o.GradWorkerFrac != 0.25 {
+		t.Errorf("WithGradWorkerFrac: %+v", o)
+	}
+	// Default: DistAuto resolves per strategy at plan-build time.
+	o = Build()
+	if o.DistMode != DistAuto {
+		t.Errorf("default DistMode = %v, want DistAuto", o.DistMode)
+	}
+}
+
 // WithOptions seeds from a resolved struct; later options override fields.
 func TestWithOptionsBaseAndOverride(t *testing.T) {
 	base := Options{Damping: 0.01, InvUpdateFreq: 50, Strategy: LayerWise}

@@ -229,6 +229,9 @@ func (p *Preconditioner) updatePipelined(doFactors, doDecomp bool) error {
 	st.PipelineIdle += time.Duration(r.idleNS.Load())
 	st.PipelineUpdates++
 	st.mu.Unlock()
+	if err == nil {
+		st.noteFactorMem(p.factorMemBytes())
+	}
 	return err
 }
 
@@ -372,6 +375,7 @@ func (r *pipelineRun) runIssuer() error {
 	p := r.p
 	if r.doFactors {
 		fu := comm.NewFuser(p.comm, p.opts.FusionBytes)
+		fu.SetGroupSize(p.opts.GroupSize)
 		layerOf := make(map[*tensor.Tensor]int, 2*len(p.states))
 		remaining := make([]atomic.Int32, len(p.states))
 		for i, s := range p.states {
@@ -387,34 +391,97 @@ func (r *pipelineRun) runIssuer() error {
 		}
 		r.spawnChunkWaiters(fu.FlushAsync(), layerOf, remaining)
 	}
-	if r.doDecomp && p.opts.Strategy != LayerWise {
-		// Under LayerWise the decompositions stay on the owning worker; the
-		// preconditioned gradients are broadcast each iteration instead.
-		for i, s := range p.states {
-			if !r.waitEventIdle(r.decomposed[i]) {
-				return nil
+	if r.doDecomp {
+		if p.plan.FullyReplicated() {
+			r.issueAllgathers()
+		} else {
+			r.issueRecipientBroadcasts()
+		}
+	}
+	return nil
+}
+
+// issueAllgathers streams the fully replicated (COMM-OPT) decomposition
+// exchange: one async AllgatherV per layer as its decompositions land, in
+// layer order.
+func (r *pipelineRun) issueAllgathers() {
+	p := r.p
+	for i, s := range p.states {
+		if !r.waitEventIdle(r.decomposed[i]) {
+			return
+		}
+		var buf []float64
+		if s.aWorker == r.mine {
+			buf = p.appendRecord(buf, float64(i), 0, s, false)
+		}
+		if s.gWorker == r.mine {
+			buf = p.appendRecord(buf, float64(i), 1, s, true)
+		}
+		r.eigCommWin.open()
+		h := p.comm.AllgatherVAsync(buf)
+		r.grp.Go(func() error {
+			blocks, err := h.Wait()
+			r.eigCommWin.mark()
+			if err != nil {
+				r.fail(err)
+				return err
+			}
+			for rank, block := range blocks {
+				if rank == r.mine {
+					continue
+				}
+				if err := p.consumeRecords(block); err != nil {
+					r.fail(err)
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// issueRecipientBroadcasts streams the partial-plan (MEM-OPT/HYBRID)
+// decomposition exchange: per factor, one async group broadcast from the
+// owner to the layer's recipient group, in layer order (A before G) — the
+// pipelined counterpart of broadcastDecompositions. Singleton groups (the
+// owner is the only recipient) issue nothing; the schedule is a pure
+// function of the shared plan, so every rank issues identically.
+func (r *pipelineRun) issueRecipientBroadcasts() {
+	p := r.p
+	for i, s := range p.states {
+		if !r.waitEventIdle(r.decomposed[i]) {
+			return
+		}
+		for _, f := range [2]struct {
+			isG   bool
+			grp   *comm.Group
+			owner int
+		}{
+			{false, s.aRecvGroup, s.aWorker},
+			{true, s.gRecvGroup, s.gWorker},
+		} {
+			if f.grp == nil || f.grp.Size() <= 1 {
+				continue
 			}
 			var buf []float64
-			if s.aWorker == r.mine {
-				buf = p.appendRecord(buf, float64(i), 0, s, false)
-			}
-			if s.gWorker == r.mine {
-				buf = p.appendRecord(buf, float64(i), 1, s, true)
+			member := f.grp.Contains(r.mine)
+			if f.owner == r.mine {
+				buf = p.appendRecord(nil, float64(i), b2f(f.isG), s, f.isG)
+			} else if member {
+				buf = make([]float64, p.recordLen(i, f.isG))
 			}
 			r.eigCommWin.open()
-			h := p.comm.AllgatherVAsync(buf)
+			h := f.grp.BroadcastAsync(buf, f.owner)
+			owner, consume := f.owner, buf
 			r.grp.Go(func() error {
-				blocks, err := h.Wait()
+				err := h.Wait()
 				r.eigCommWin.mark()
 				if err != nil {
 					r.fail(err)
 					return err
 				}
-				for rank, block := range blocks {
-					if rank == r.mine {
-						continue
-					}
-					if err := p.consumeRecords(block); err != nil {
+				if owner != r.mine && member {
+					if err := p.consumeRecords(consume); err != nil {
 						r.fail(err)
 						return err
 					}
@@ -423,7 +490,6 @@ func (r *pipelineRun) runIssuer() error {
 			})
 		}
 	}
-	return nil
 }
 
 // spawnChunkWaiters waits on each launched fused-allreduce chunk on its own
@@ -477,10 +543,10 @@ func (r *precondRanger) RunRange(lo, hi int) {
 // per-layer preconditioning fans out over the worker pool (zero-allocation
 // ForEach dispatch), while the κ gradient scaling keeps its deterministic
 // layer-order reduction so results are bit-identical to the synchronous
-// engine. The LayerWise broadcast scheme keeps the sequential path — its
-// per-layer broadcasts are ordered collectives.
+// engine. Partially replicated plans (MEM-OPT/HYBRID) keep the sequential
+// path — their per-layer result broadcasts are ordered collectives.
 func (p *Preconditioner) preconditionParallel(lr float64) error {
-	if p.opts.Strategy == LayerWise && p.comm != nil && p.comm.Size() > 1 {
+	if p.comm != nil && p.comm.Size() > 1 && !p.plan.FullyReplicated() {
 		return p.precondition(lr)
 	}
 	start := time.Now()

@@ -38,6 +38,19 @@ func (m Mode) String() string {
 type Options struct {
 	Mode     Mode
 	Strategy Strategy
+	// DistMode selects the memory/communication tradeoff of the resolved
+	// distribution plan (default DistAuto: LayerWise implies MemOpt, every
+	// other strategy CommOpt — the pre-plan behavior).
+	DistMode DistMode
+	// GradWorkerFrac sizes each layer's gradient-worker set under
+	// DistMode == Hybrid as a fraction of the world (clamped to at least
+	// one worker). Ignored by the other modes.
+	GradWorkerFrac float64
+	// GroupSize, when ≥ 2, routes the factor allreduce (and the trainer's
+	// gradient exchange) through the two-level hierarchical allreduce with
+	// this many consecutive ranks per group — modeling fast intra-node
+	// links. 0 keeps the flat ring.
+	GroupSize int
 	// Damping is the Tikhonov regularizer γ (paper: 0.001 for ImageNet).
 	Damping float64
 	// FactorDecay is the running-average coefficient ξ in Equations 16–17
@@ -104,8 +117,15 @@ type layerState struct {
 	eigA, eigG *linalg.Eigen
 	// Damped inverses (InverseMode).
 	invA, invG *tensor.Tensor
-	// Worker assignments for the A and G factors (equal under LayerWise).
+	// Owner ranks for the A and G factors, mirrored from the active Plan
+	// (equal under LayerWise).
 	aWorker, gWorker int
+	// Plan-scoped sub-communicators, rebuilt by replan; nil when the plan
+	// is fully replicated or the run is single-process. aRecvGroup and
+	// gRecvGroup carry a factor's decomposition from its owner to the
+	// layer's gradient workers; pcGroup carries the preconditioned gradient
+	// from the designated root to the ranks that did not compute it.
+	aRecvGroup, gRecvGroup, pcGroup *comm.Group
 	// π correction for factored damping (1 when disabled); recomputed at
 	// every decomposition update from the averaged factors, so it is
 	// identical on every rank without communication.
@@ -136,6 +156,7 @@ type Preconditioner struct {
 	comm   *comm.Communicator // nil means single-process
 	opts   Options
 	states []*layerState
+	plan   *Plan // resolved distribution plan (rebuilt by replan)
 	step   int
 	stats  StageStats
 	pool   *sched.Pool // lazily created by the pipelined engine
@@ -178,28 +199,34 @@ func NewFromOptions(model nn.Layer, c *comm.Communicator, opts Options) *Precond
 		l.SetCapture(true)
 		p.states = append(p.states, &layerState{layer: l})
 	}
-	p.assignWorkers()
+	p.replan()
 	return p
 }
 
 // Rebind attaches the preconditioner to a new communicator — the elastic
-// recovery path after a rank loss rebuilds a resized world — and re-runs
-// factor placement (Algorithm 1, line 9) for the new world size. Replica
-// state survives the resize: the running-average factors and any computed
-// decompositions are identical on every rank (they are products of
-// collective averaging), so they remain valid under the new placement and
-// only factor *ownership* changes. c may be nil to shrink to a
-// single-process preconditioner.
+// recovery path after a rank loss rebuilds a resized world — and re-plans
+// the whole distribution (Algorithm 1, line 9) for the new world size: a
+// fresh Plan with new owners, gradient-worker sets, and sub-communicator
+// groups. Replica state survives the resize when the outgoing plan was
+// fully replicated: the running-average factors and decompositions are
+// identical on every rank (products of collective averaging), so they
+// remain valid under the new placement and only *ownership* changes. c may
+// be nil to shrink to a single-process preconditioner.
 //
 // Rebind must not be called while a Step is in flight, and all surviving
 // ranks must call it with communicators of equal size (the usual SPMD
-// contract). Under LayerWise placement the decompositions live only on
-// the owning worker; Rebind clears them there so the next decomposition
-// update rebuilds ownership consistently instead of broadcasting from
-// stale roots.
+// contract). Under a partially replicated plan (MemOpt/Hybrid — including
+// the implied MemOpt of LayerWise) the decompositions live only on their
+// recipient sets; Rebind clears them so the next decomposition update
+// rebuilds ownership consistently instead of broadcasting from stale
+// roots.
 func (p *Preconditioner) Rebind(c *comm.Communicator) {
+	// Mode-based rather than plan-based: a world-1 MemOpt plan is trivially
+	// fully replicated, but clearing stays the conservative contract for
+	// every partial mode so ownership is always rebuilt fresh.
+	partial := ResolveDistMode(p.opts.DistMode, p.opts.Strategy) != CommOpt
 	p.comm = c
-	if p.opts.Strategy == LayerWise {
+	if partial {
 		for _, s := range p.states {
 			s.eigA, s.eigG, s.invA, s.invG = nil, nil, nil, nil
 		}
@@ -207,7 +234,7 @@ func (p *Preconditioner) Rebind(c *comm.Communicator) {
 		// the new ownership before any layer preconditions.
 		p.step = 0
 	}
-	p.assignWorkers()
+	p.replan()
 }
 
 // size returns the world size (1 when running without a communicator).
@@ -226,16 +253,57 @@ func (p *Preconditioner) rank() int {
 	return p.comm.Rank()
 }
 
-// assignWorkers computes the deterministic factor→worker map (Algorithm 1,
-// line 9). Every rank computes the same assignment, so no communication is
-// needed.
-func (p *Preconditioner) assignWorkers() {
-	refs := p.FactorRefs()
-	assign := Assign(p.opts.Strategy, refs, p.size())
+// replan rebuilds the resolved distribution Plan for the current
+// (strategy, mode, world) and mirrors it into the per-layer state: owner
+// ranks plus the plan-scoped sub-communicator groups partial plans need.
+// Every rank computes the identical plan from shared state, so no
+// communication is needed (Algorithm 1, line 9).
+func (p *Preconditioner) replan() {
+	p.plan = BuildPlan(p.opts.Strategy, p.opts.DistMode, p.opts.GradWorkerFrac,
+		p.FactorRefs(), p.size())
+	partial := p.comm != nil && p.comm.Size() > 1 && !p.plan.FullyReplicated()
 	for i, s := range p.states {
-		s.aWorker = assign[2*i]
-		s.gWorker = assign[2*i+1]
+		lp := &p.plan.Layers[i]
+		s.aWorker, s.gWorker = lp.AOwner, lp.GOwner
+		s.aRecvGroup, s.gRecvGroup, s.pcGroup = nil, nil, nil
+		if partial {
+			s.aRecvGroup = p.comm.Group(p.plan.Recipients(i, false))
+			s.gRecvGroup = p.comm.Group(p.plan.Recipients(i, true))
+			s.pcGroup = p.comm.Group(lp.BcastMembers)
+		}
 	}
+	p.stats.noteFactorMem(p.factorMemBytes())
+}
+
+// Plan returns the active resolved distribution plan.
+func (p *Preconditioner) Plan() *Plan { return p.plan }
+
+// factorMemBytes measures this rank's currently resident K-FAC factor
+// state in bytes: running averages, covariance/preconditioning workspaces,
+// and whatever decompositions the plan placed here. It is the live
+// counterpart of Plan.DecompElemsPerRank and feeds the
+// StageStats.PeakFactorBytes high-water mark.
+func (p *Preconditioner) factorMemBytes() int64 {
+	var elems int64
+	tlen := func(t *tensor.Tensor) int64 {
+		if t == nil {
+			return 0
+		}
+		return int64(t.Len())
+	}
+	eglen := func(e *linalg.Eigen) int64 {
+		if e == nil {
+			return 0
+		}
+		return tlen(e.Q) + int64(len(e.Values))
+	}
+	for _, s := range p.states {
+		elems += tlen(s.A) + tlen(s.G) + tlen(s.covA) + tlen(s.covG)
+		elems += tlen(s.sample) + tlen(s.gradBuf) + tlen(s.wA) + tlen(s.wB) + tlen(s.pcBuf)
+		elems += tlen(s.invA) + tlen(s.invG)
+		elems += eglen(s.eigA) + eglen(s.eigG) + eglen(s.eigSpareA) + eglen(s.eigSpareG)
+	}
+	return 8 * elems
 }
 
 // FactorRefs lists the factors in placement order: (A₀, G₁, A₁, G₂, ...) —
@@ -349,11 +417,13 @@ func (p *Preconditioner) updateFactors() error {
 	p.stats.mu.Lock()
 	p.stats.FactorUpdates++
 	p.stats.mu.Unlock()
+	p.stats.noteFactorMem(p.factorMemBytes())
 	if p.comm == nil || p.comm.Size() == 1 {
 		return nil
 	}
 	commStart := time.Now()
 	fu := comm.NewFuser(p.comm, p.opts.FusionBytes)
+	fu.SetGroupSize(p.opts.GroupSize)
 	for _, s := range p.states {
 		fu.Add(s.A)
 		fu.Add(s.G)
@@ -364,10 +434,11 @@ func (p *Preconditioner) updateFactors() error {
 }
 
 // updateDecompositions eigendecomposes (or inverts) the factors this rank
-// owns and allgathers the results so every rank holds all decompositions
-// (Algorithm 1, step 2). Under LayerWise the results stay on the owning
-// worker — the layer-wise scheme broadcasts preconditioned gradients
-// instead (§VI-C3).
+// owns and distributes the results per the plan (Algorithm 1, step 2):
+// fully replicated plans (COMM-OPT) allgather everything to every rank;
+// partial plans (MEM-OPT/HYBRID) broadcast each factor only to its
+// recipient group — the layer's gradient workers — and the remaining
+// ranks receive preconditioned gradients each iteration instead (§VI-C3).
 func (p *Preconditioner) updateDecompositions() error {
 	mine := p.rank()
 	distributed := p.comm != nil && p.comm.Size() > 1
@@ -395,13 +466,81 @@ func (p *Preconditioner) updateDecompositions() error {
 	p.stats.mu.Lock()
 	p.stats.EigUpdates++
 	p.stats.mu.Unlock()
-	if !distributed || p.opts.Strategy == LayerWise {
+	if !distributed {
+		p.stats.noteFactorMem(p.factorMemBytes())
 		return nil
 	}
 	commStart := time.Now()
-	err := p.allgatherDecompositions()
+	var err error
+	if p.plan.FullyReplicated() {
+		err = p.allgatherDecompositions()
+	} else {
+		err = p.broadcastDecompositions()
+	}
 	p.stats.add(&p.stats.EigComm, time.Since(commStart))
+	p.stats.noteFactorMem(p.factorMemBytes())
 	return err
+}
+
+// broadcastDecompositions moves each owned factor's decomposition from its
+// owner to the layer's gradient workers over the plan's recipient groups,
+// in layer order (A before G) — the partial-plan counterpart of
+// allgatherDecompositions. Groups of one (owner is the only recipient, the
+// LayerWise/MemOpt case) move nothing and reserve no tags; every rank
+// takes the same branch, so the collective schedule stays aligned.
+func (p *Preconditioner) broadcastDecompositions() error {
+	mine := p.rank()
+	for i, s := range p.states {
+		for _, f := range [2]struct {
+			isG   bool
+			grp   *comm.Group
+			owner int
+		}{
+			{false, s.aRecvGroup, s.aWorker},
+			{true, s.gRecvGroup, s.gWorker},
+		} {
+			if f.grp == nil || f.grp.Size() <= 1 {
+				continue
+			}
+			var buf []float64
+			if f.owner == mine {
+				buf = p.appendRecord(nil, float64(i), b2f(f.isG), s, f.isG)
+			} else if f.grp.Contains(mine) {
+				buf = make([]float64, p.recordLen(i, f.isG))
+			}
+			if err := f.grp.Broadcast(buf, f.owner); err != nil {
+				return err
+			}
+			if f.owner != mine && f.grp.Contains(mine) {
+				if err := p.consumeRecords(buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recordLen returns the serialized record length of one factor's
+// decomposition (header + payload; see appendRecord).
+func (p *Preconditioner) recordLen(layer int, isG bool) int {
+	da, dg := FactorDims(p.states[layer].layer)
+	n := da
+	if isG {
+		n = dg
+	}
+	if p.opts.Mode == InverseMode {
+		return 3 + n*n
+	}
+	return 3 + n + n*n
+}
+
+// b2f encodes the record isG flag.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (p *Preconditioner) decomposeA(s *layerState) error {
@@ -479,25 +618,33 @@ func (p *Preconditioner) precondition(lr float64) error {
 		grads[i] = p.combinedGrad(s)
 	}
 
-	if p.opts.Strategy == LayerWise && p.comm != nil && p.comm.Size() > 1 {
-		// K-FAC-lw: the owning worker preconditions the whole layer and
-		// broadcasts the result every iteration.
+	if p.comm != nil && p.comm.Size() > 1 && !p.plan.FullyReplicated() {
+		// Partial plan (MEM-OPT / HYBRID, and the LayerWise default): each
+		// layer's gradient workers precondition redundantly from their
+		// shared eigenbases — bit-identical results, since the arithmetic
+		// is a pure function of the (identical) decompositions and gradient
+		// — and the designated root broadcasts to the ranks that hold no
+		// eigenbases. All ranks call Broadcast; non-root gradient workers
+		// are outside the group and keep their locally computed (equal)
+		// bits after the tag reservation.
+		mine := p.rank()
 		for i, s := range p.states {
 			var pc *tensor.Tensor
-			if s.gWorker == p.rank() {
+			if p.plan.IsGradWorker(i, mine) {
 				pc = p.preconditionOne(s, grads[i])
 			} else {
 				// Broadcast fully overwrites the receive buffer.
 				pc = tensor.Ensure(&s.pcBuf, grads[i].Shape...)
 			}
-			if err := p.comm.Broadcast(pc.Data, s.gWorker); err != nil {
+			if err := s.pcGroup.Broadcast(pc.Data, p.plan.GradRoot(i)); err != nil {
 				return err
 			}
 			preconds[i] = pc
 		}
 	} else {
-		// K-FAC-opt: every rank holds all decompositions and preconditions
-		// locally — no per-iteration communication.
+		// Fully replicated plan (COMM-OPT): every rank holds all
+		// decompositions and preconditions locally — no per-iteration
+		// communication.
 		for i, s := range p.states {
 			preconds[i] = p.preconditionOne(s, grads[i])
 		}
@@ -681,17 +828,17 @@ func (p *Preconditioner) consumeRecords(block []float64) error {
 		if pos+n+n*n > len(block) {
 			return fmt.Errorf("kfac: truncated eigen record")
 		}
-		eg := s.eigA
+		// Select the slot by pointer so each record touches only its own
+		// field — the pipelined engine consumes a layer's A and G records on
+		// concurrent waiter goroutines.
+		slot := &s.eigA
 		if isG {
-			eg = s.eigG
+			slot = &s.eigG
 		}
+		eg := *slot
 		if eg == nil {
 			eg = &linalg.Eigen{}
-			if isG {
-				s.eigG = eg
-			} else {
-				s.eigA = eg
-			}
+			*slot = eg
 		}
 		eg.SetFrom(block[pos:pos+n], block[pos+n:pos+n+n*n], n)
 		pos += n + n*n

@@ -35,6 +35,22 @@ type StageStats struct {
 	PipelineWork    time.Duration
 	PipelineIdle    time.Duration
 	PipelineUpdates int
+
+	// PeakFactorBytes is the high-water mark of this rank's resident K-FAC
+	// factor state (running averages, workspaces, and the decompositions
+	// the distribution plan placed here), in bytes — the per-rank memory
+	// side of the MEM-OPT/COMM-OPT tradeoff, recorded at every plan build
+	// and factor/decomposition update.
+	PeakFactorBytes int64
+}
+
+// noteFactorMem raises the PeakFactorBytes high-water mark.
+func (s *StageStats) noteFactorMem(cur int64) {
+	s.mu.Lock()
+	if cur > s.PeakFactorBytes {
+		s.PeakFactorBytes = cur
+	}
+	s.mu.Unlock()
 }
 
 func (s *StageStats) add(dst *time.Duration, d time.Duration) {
@@ -60,6 +76,7 @@ func (s *StageStats) Snapshot() StageStats {
 		PipelineWork:    s.PipelineWork,
 		PipelineIdle:    s.PipelineIdle,
 		PipelineUpdates: s.PipelineUpdates,
+		PeakFactorBytes: s.PeakFactorBytes,
 	}
 }
 

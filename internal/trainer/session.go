@@ -398,6 +398,14 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	}
 	ce := nn.CrossEntropy{Smoothing: cfg.LabelSmoothing}
 	sampler := data.ShardSampler{N: s.train.Len(), Rank: rank, World: world, Seed: cfg.Seed}
+	// kfac.WithGroupSize routes the per-iteration gradient exchange (and
+	// the preconditioner's own factor averaging) through the two-level
+	// hierarchical allreduce — the intra-node/inter-node split of the
+	// paper's platform. Zero keeps the flat ring.
+	gradGroupSize := 0
+	if cfg.KFAC != nil {
+		gradGroupSize = cfg.KFAC.GroupSize
+	}
 
 	res := &Result{Iterations: startStep}
 	if prec != nil {
@@ -456,6 +464,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 			// Gradient exchange (optimizer.synchronize() in Listing 1).
 			if c != nil && world > 1 {
 				fu := comm.NewFuser(c, cfg.FusionBytes)
+				fu.SetGroupSize(gradGroupSize)
 				for _, p := range params {
 					fu.Add(p.Grad)
 				}

@@ -1,0 +1,139 @@
+// Command benchdiff compares a fresh `kfac-bench -json` run against the
+// committed bench/BENCH_*.json reference trajectory and reports step-time
+// and allocation regressions per scenario.
+//
+// Usage:
+//
+//	go run ./tools/benchdiff -ref bench -new bench-artifacts
+//	go run ./tools/benchdiff -ref bench -new bench-artifacts -strict
+//
+// Scenarios are matched by their "scenario" field; entries present on only
+// one side are listed but never fail the run (the matrices may evolve).
+// Step-time deltas use a deliberately loose default tolerance — absolute
+// timings on shared CI runners are noise — while allocation counts are
+// deterministic and gate tightly. The exit status is 0 unless -strict is
+// set and a regression was found, so CI can run it as a soft-fail
+// regression report step.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+// load reads every BENCH_*.json in dir, keyed by scenario.
+func load(dir string) (map[string]*experiments.BenchResult, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*experiments.BenchResult, len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r experiments.BenchResult
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if r.Scenario == "" {
+			return nil, fmt.Errorf("%s: missing scenario field", p)
+		}
+		out[r.Scenario] = &r
+	}
+	return out, nil
+}
+
+// relDelta returns (new-old)/old, or 0 when old is 0.
+func relDelta(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return float64(new-old) / float64(old)
+}
+
+func main() {
+	var (
+		refDir    = flag.String("ref", "bench", "directory holding the committed reference BENCH_*.json")
+		newDir    = flag.String("new", ".", "directory holding the fresh run's BENCH_*.json")
+		stepTol   = flag.Float64("step-tol", 0.50, "allowed relative step-time increase (0.50 = +50%)")
+		allocsTol = flag.Float64("allocs-tol", 0.10, "allowed relative allocs/step increase beyond the absolute slack")
+		allocsAbs = flag.Float64("allocs-abs", 2, "absolute allocs/step slack before the relative tolerance applies")
+		strict    = flag.Bool("strict", false, "exit non-zero when a regression exceeds tolerance")
+	)
+	flag.Parse()
+
+	ref, err := load(*refDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: ref:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: new:", err)
+		os.Exit(2)
+	}
+	if len(ref) == 0 || len(fresh) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: nothing to compare (%d reference, %d fresh)\n", len(ref), len(fresh))
+		os.Exit(2)
+	}
+
+	var scenarios []string
+	for s := range fresh {
+		scenarios = append(scenarios, s)
+	}
+	sort.Strings(scenarios)
+
+	regressions := 0
+	fmt.Printf("%-28s %14s %14s %8s   %s\n", "scenario", "ref step", "new step", "Δ", "allocs ref→new")
+	for _, s := range scenarios {
+		n := fresh[s]
+		r, ok := ref[s]
+		if !ok {
+			fmt.Printf("%-28s %14s %14s %8s   (new scenario, no reference)\n", s, "—", "—", "—")
+			continue
+		}
+		d := relDelta(r.StepTimeMeanNS, n.StepTimeMeanNS)
+		mark := ""
+		if d > *stepTol {
+			mark = "  ← step-time regression"
+			regressions++
+		}
+		allocDelta := n.SteadyAllocsPerStep - r.SteadyAllocsPerStep
+		if allocDelta > *allocsAbs && allocDelta > *allocsTol*r.SteadyAllocsPerStep {
+			mark += "  ← allocs regression"
+			regressions++
+		}
+		fmt.Printf("%-28s %11.2fms %11.2fms %+7.1f%%   %.1f→%.1f%s\n",
+			s, float64(r.StepTimeMeanNS)/1e6, float64(n.StepTimeMeanNS)/1e6, 100*d,
+			r.SteadyAllocsPerStep, n.SteadyAllocsPerStep, mark)
+	}
+	var refOnly []string
+	for s := range ref {
+		if _, ok := fresh[s]; !ok {
+			refOnly = append(refOnly, s)
+		}
+	}
+	sort.Strings(refOnly)
+	for _, s := range refOnly {
+		fmt.Printf("%-28s (reference scenario missing from this run)\n", s)
+	}
+
+	if regressions > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s) beyond tolerance (step %.0f%%, allocs +%.0f/%.0f%%)\n",
+			regressions, 100**stepTol, *allocsAbs, 100**allocsTol)
+		if *strict {
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: soft-fail mode — reporting only (pass -strict to gate)")
+		return
+	}
+	fmt.Println("\nbenchdiff: no regressions beyond tolerance")
+}
