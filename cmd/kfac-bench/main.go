@@ -54,6 +54,9 @@ Benchmark JSON mode:
                 world 4, with per-rank peak factor memory)
   -out DIR      output directory for BENCH_*.json (default ".")
   -short        tiny-model matrix for CI smoke jobs (with -json)
+  -precision P  precision slice of the matrix: f64 (reference cells and the
+                dist_* axis), f32 (the _f32 mixed-precision cells only), or
+                both (default)
 
 Common:
   -seed N       random seed (default 42)
@@ -63,6 +66,7 @@ Examples:
   kfac-bench -all -quick
   kfac-bench -json -out bench-artifacts
   kfac-bench -json -short
+  kfac-bench -json -precision f32 -out bench-artifacts
 `)
 }
 
@@ -75,6 +79,7 @@ func main() {
 		jsonMode = flag.Bool("json", false, "emit BENCH_<scenario>.json benchmark trajectories")
 		outDir   = flag.String("out", ".", "output directory for -json results")
 		short    = flag.Bool("short", false, "tiny-model -json matrix (CI smoke)")
+		prec     = flag.String("precision", "both", "-json precision slice: f64, f32, or both")
 		seed     = flag.Int64("seed", 42, "random seed")
 	)
 	flag.Usage = usage
@@ -90,7 +95,7 @@ func main() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
 	case *jsonMode:
-		paths, err := experiments.RunBenchJSON(ctx, *outDir, *short, *seed)
+		paths, err := experiments.RunBenchJSONFiltered(ctx, *outDir, *short, *seed, *prec)
 		for _, p := range paths {
 			fmt.Println(p)
 		}

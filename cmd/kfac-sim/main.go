@@ -43,6 +43,9 @@ K-FAC schedule:
 
 Output:
   -workers          also print per-worker eigendecomposition load (min/median/max)
+  -precision W      modeled element width for payloads and memory: f32 (the
+                    paper's wire format, default) or f64 (this repo's exact
+                    float64 wire format)
 
 Examples:
   kfac-sim -model resnet50 -gpus 64
@@ -64,6 +67,7 @@ func main() {
 		sgdEpochs  = flag.Int("sgd-epochs", 90, "SGD epoch budget")
 		kfacEpochs = flag.Int("kfac-epochs", 55, "K-FAC epoch budget")
 		workers    = flag.Bool("workers", false, "print per-worker eigendecomposition times")
+		precision  = flag.String("precision", "f32", "modeled element width: f32 (the paper's wire format) or f64")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -108,7 +112,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	m := simulate.NewModel(simulate.DefaultV100Cluster(), simulate.ImageNetWorkload(cat))
+	pr, err := kfac.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cluster := simulate.DefaultV100Cluster()
+	bytesPerElem := 4.0
+	if pr == kfac.F64 {
+		// Model double-width payloads: twice the bytes through the same
+		// interconnect model.
+		bytesPerElem = 8.0
+	}
+	cluster.BytesPerElem = bytesPerElem
+
+	m := simulate.NewModel(cluster, simulate.ImageNetWorkload(cat))
 	f := *freq
 	if f == 0 {
 		f = simulate.PaperInvFreq(*gpus)
@@ -124,12 +142,12 @@ func main() {
 	elems := plan.DecompElemsPerRank(cat.FactorRefs())
 	sortedElems := append([]int64(nil), elems...)
 	sort.Slice(sortedElems, func(a, b int) bool { return sortedElems[a] < sortedElems[b] })
-	const fp32 = 4.0 / 1e6 // bytes per element → MB
-	fmt.Printf("plan %s\n", plan)
+	elemMB := bytesPerElem / 1e6 // bytes per element → MB at the modeled width
+	fmt.Printf("plan %s (%s elements)\n", plan, pr)
 	fmt.Printf("eigenbasis memory/rank: min %.1f MB, median %.1f MB, max %.1f MB (COMM-OPT would hold %.1f MB everywhere)\n",
-		float64(sortedElems[0])*fp32, float64(sortedElems[len(sortedElems)/2])*fp32,
-		float64(sortedElems[len(sortedElems)-1])*fp32,
-		float64(maxElems(kfac.BuildPlan(strat, kfac.CommOpt, 0, cat.FactorRefs(), *gpus).DecompElemsPerRank(cat.FactorRefs())))*fp32)
+		float64(sortedElems[0])*elemMB, float64(sortedElems[len(sortedElems)/2])*elemMB,
+		float64(sortedElems[len(sortedElems)-1])*elemMB,
+		float64(maxElems(kfac.BuildPlan(strat, kfac.CommOpt, 0, cat.FactorRefs(), *gpus).DecompElemsPerRank(cat.FactorRefs())))*elemMB)
 	fmt.Printf("per-iteration: fwd+bwd %.1f ms, SGD iter %.1f ms, %s iter %.1f ms (freq %d)\n",
 		m.FwdBwdTime()*1e3, m.SGDIterTime(*gpus)*1e3,
 		strat, m.KFACIterAvgTime(*gpus, f, strat)*1e3, f)

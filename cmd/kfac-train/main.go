@@ -61,6 +61,9 @@ K-FAC (with -optimizer kfac):
   -engine {sync,pipelined}             step engine; pipelined overlaps compute and comm
   -strategy {roundrobin,layerwise,greedy}  factor placement across workers
   -mode {eigen,inverse}                inversion path (Table I ablation)
+  -precision {f64,f32}                 compute precision of the K-FAC kernels; f32 runs
+                                       float32 storage with float64 accumulation, keeping
+                                       state and communication float64 (default f64)
   -damping F                           Tikhonov damping γ (default 1e-3)
   -inv-freq N                          eigendecomposition interval (default 10)
   -factor-freq N                       factor update interval (default 1)
@@ -102,6 +105,7 @@ func main() {
 		optimizer = flag.String("optimizer", "kfac", "sgd or kfac")
 		strategy  = flag.String("strategy", "roundrobin", "kfac distribution: roundrobin, layerwise, greedy")
 		mode      = flag.String("mode", "eigen", "kfac inversion: eigen or inverse")
+		precision = flag.String("precision", "f64", "kfac compute precision: f64 or f32 (float32 kernels, float64 accumulation)")
 		engine    = flag.String("engine", "sync", "kfac step engine: sync or pipelined")
 		world     = flag.Int("world", 1, "number of simulated workers (in-process ranks)")
 		epochs    = flag.Int("epochs", 8, "training epochs")
@@ -208,6 +212,12 @@ func main() {
 		if *mode == "inverse" {
 			kopts = append(kopts, kfac.WithMode(kfac.InverseMode))
 		}
+		pr, err := kfac.ParsePrecision(*precision)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		kopts = append(kopts, kfac.WithPrecision(pr))
 		switch *engine {
 		case "pipelined":
 			kopts = append(kopts, kfac.WithEngine(kfac.EnginePipelined))

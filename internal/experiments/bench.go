@@ -37,9 +37,13 @@ const BenchSchema = "kfac-bench/v1"
 // durations are nanoseconds; alloc metrics are per executed step.
 type BenchResult struct {
 	Schema   string `json:"schema"`
-	Scenario string `json:"scenario"` // "<model>_<engine>" or "dist_<model>_w<world>_<mode>"
+	Scenario string `json:"scenario"` // "<model>_<engine>[_f32]" or "dist_<model>_w<world>_<mode>"
 	Model    string `json:"model"`
 	Engine   string `json:"engine"`
+	// Precision is the K-FAC compute precision of the run: "f64" (the exact
+	// reference path) or "f32" (float32 kernels with float64 accumulation;
+	// the scenario name carries a matching _f32 suffix).
+	Precision string `json:"precision"`
 
 	// Distribution axis. Single-process scenarios report world 1 and the
 	// resolved COMM-OPT plan; dist_* scenarios sweep
@@ -86,12 +90,13 @@ type BenchResult struct {
 
 // benchScenario is one (model, engine) cell of the benchmark matrix.
 type benchScenario struct {
-	model   string
-	blocks  int
-	width   int
-	batch   int
-	steps   int
-	engines []kfac.Engine
+	model     string
+	blocks    int
+	width     int
+	batch     int
+	steps     int
+	engines   []kfac.Engine
+	precision kfac.Precision
 }
 
 // benchMatrix returns the scenario list: -short runs one tiny model for the
@@ -100,13 +105,24 @@ type benchScenario struct {
 func benchMatrix(short bool) []benchScenario {
 	engines := []kfac.Engine{kfac.EngineSync, kfac.EnginePipelined}
 	if short {
-		return []benchScenario{{model: "tiny", blocks: 1, width: 4, batch: 4, steps: 6, engines: engines}}
+		tiny := benchScenario{model: "tiny", blocks: 1, width: 4, batch: 4, steps: 6, engines: engines}
+		tinyF32 := tiny
+		tinyF32.precision = kfac.F32
+		return []benchScenario{tiny, tinyF32}
 	}
-	return []benchScenario{
+	cells := []benchScenario{
 		{model: "small", blocks: 1, width: 8, batch: 8, steps: 20, engines: engines},
 		{model: "medium", blocks: 2, width: 16, batch: 8, steps: 20, engines: engines},
 		{model: "large", blocks: 3, width: 32, batch: 8, steps: 10, engines: engines},
 	}
+	// Mixed-precision cells mirror small and medium — the sizes the
+	// committed trajectories track f64-vs-f32 on (docs/PERFORMANCE.md).
+	for _, base := range cells[:2] {
+		f32 := base
+		f32.precision = kfac.F32
+		cells = append(cells, f32)
+	}
+	return cells
 }
 
 // distScenario is one cell of the distribution-mode benchmark axis: a
@@ -160,6 +176,19 @@ func distMatrix(short bool) []distScenario {
 // returning the file paths. Scenarios respect ctx cancellation between
 // steps.
 func RunBenchJSON(ctx context.Context, outDir string, short bool, seed int64) ([]string, error) {
+	return RunBenchJSONFiltered(ctx, outDir, short, seed, "both")
+}
+
+// RunBenchJSONFiltered is RunBenchJSON restricted to one precision slice of
+// the matrix: "f64" keeps the reference cells and the dist_* axis, "f32"
+// keeps only the mixed-precision cells, "both" (the RunBenchJSON default)
+// runs everything.
+func RunBenchJSONFiltered(ctx context.Context, outDir string, short bool, seed int64, precision string) ([]string, error) {
+	switch precision {
+	case "f64", "f32", "both":
+	default:
+		return nil, fmt.Errorf("bench: unknown precision filter %q (want f64, f32, or both)", precision)
+	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
@@ -177,6 +206,12 @@ func RunBenchJSON(ctx context.Context, outDir string, short bool, seed int64) ([
 		return nil
 	}
 	for _, sc := range benchMatrix(short) {
+		if precision == "f64" && sc.precision != kfac.F64 {
+			continue
+		}
+		if precision == "f32" && sc.precision != kfac.F32 {
+			continue
+		}
 		for _, engine := range sc.engines {
 			res, err := runBenchScenario(ctx, sc, engine, seed)
 			if err != nil {
@@ -186,6 +221,11 @@ func RunBenchJSON(ctx context.Context, outDir string, short bool, seed int64) ([
 				return paths, err
 			}
 		}
+	}
+	if precision == "f32" {
+		// The dist_* axis measures distribution machinery at the reference
+		// precision; it has no f32 slice.
+		return paths, nil
 	}
 	for _, sc := range distMatrix(short) {
 		res, err := runDistBenchScenario(ctx, sc, seed)
@@ -214,10 +254,11 @@ func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*Be
 	abortCtx, abort := context.WithCancel(context.Background())
 	defer abort()
 	res := &BenchResult{
-		Schema:   BenchSchema,
-		Scenario: fmt.Sprintf("dist_%s_w%d_%s", sc.model, sc.world, sc.name),
-		Model:    sc.model,
-		Engine:   kfac.EngineSync.String(),
+		Schema:    BenchSchema,
+		Scenario:  fmt.Sprintf("dist_%s_w%d_%s", sc.model, sc.world, sc.name),
+		Model:     sc.model,
+		Engine:    kfac.EngineSync.String(),
+		Precision: kfac.F64.String(),
 
 		World:                  sc.world,
 		PeakFactorBytesPerRank: make([]int64, sc.world),
@@ -346,18 +387,27 @@ func runBenchScenario(ctx context.Context, sc benchScenario, engine kfac.Engine,
 	rng := rand.New(rand.NewSource(seed))
 	net := models.BuildCIFARResNet(sc.blocks, sc.width, 3, 10, rng)
 	nn.SetBufferReuse(net, true)
+	if sc.precision == kfac.F32 {
+		nn.SetComputeF32(net, true)
+	}
 	const facFreq, invFreq = 5, 10
 	prec := kfac.NewFromOptions(net, nil, kfac.Options{
 		FactorUpdateFreq: facFreq, InvUpdateFreq: invFreq, Damping: 1e-3, Engine: engine,
+		Precision: sc.precision,
 	})
 	defer prec.Close()
 
+	scenario := fmt.Sprintf("%s_%s", sc.model, engine)
+	if sc.precision == kfac.F32 {
+		scenario += "_f32"
+	}
 	plan := prec.Plan()
 	res := &BenchResult{
 		Schema:         BenchSchema,
-		Scenario:       fmt.Sprintf("%s_%s", sc.model, engine),
+		Scenario:       scenario,
 		Model:          sc.model,
 		Engine:         engine.String(),
+		Precision:      sc.precision.String(),
 		World:          1,
 		DistMode:       plan.Mode.String(),
 		GradWorkerFrac: plan.GradWorkerFrac,

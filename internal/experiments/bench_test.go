@@ -18,11 +18,11 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// tiny × {sync, pipelined} plus the four dist_* mode cells.
-	if len(paths) != 6 {
-		t.Fatalf("got %d result files, want 6", len(paths))
+	// tiny × {sync, pipelined} × {f64, f32} plus the four dist_* mode cells.
+	if len(paths) != 8 {
+		t.Fatalf("got %d result files, want 8", len(paths))
 	}
-	distSeen := 0
+	distSeen, f32Seen := 0, 0
 	for _, p := range paths {
 		if base := filepath.Base(p); base[:6] != "BENCH_" {
 			t.Errorf("result file %q does not follow BENCH_<scenario>.json", base)
@@ -39,7 +39,7 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 			t.Errorf("%s: schema = %v, want %s", p, doc["schema"], BenchSchema)
 		}
 		for _, key := range []string{
-			"scenario", "model", "engine", "steps",
+			"scenario", "model", "engine", "precision", "steps",
 			"world", "dist_mode", "grad_worker_frac", "peak_factor_bytes_per_rank",
 			"step_time_mean_ns", "allocs_per_step", "bytes_per_step",
 			"factor_compute_ns", "eig_compute_ns", "precondition_ns", "overlap_ns",
@@ -57,6 +57,16 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 		var typed BenchResult
 		if err := json.Unmarshal(raw, &typed); err != nil {
 			t.Fatal(err)
+		}
+		switch typed.Precision {
+		case "f64":
+		case "f32":
+			f32Seen++
+			if len(typed.Scenario) < 4 || typed.Scenario[len(typed.Scenario)-4:] != "_f32" {
+				t.Errorf("%s: precision f32 but scenario %q lacks _f32 suffix", p, typed.Scenario)
+			}
+		default:
+			t.Errorf("%s: precision = %q, want f64 or f32", p, typed.Precision)
 		}
 		if typed.World > 1 {
 			distSeen++
@@ -76,6 +86,9 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 	}
 	if distSeen != 4 {
 		t.Errorf("saw %d dist_* scenarios, want 4", distSeen)
+	}
+	if f32Seen != 2 {
+		t.Errorf("saw %d f32 scenarios, want 2", f32Seen)
 	}
 	// A round-trip through the typed struct must preserve the schema tag
 	// (catches accidental field renames).

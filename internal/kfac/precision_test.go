@@ -1,0 +1,188 @@
+package kfac
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestParsePrecision(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{
+		{"", F64, true}, {"f64", F64, true}, {"float64", F64, true},
+		{"f32", F32, true}, {"float32", F32, true},
+		{"fp16", F64, false}, {"F32", F64, false},
+	} {
+		got, err := ParsePrecision(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if F64.String() != "f64" || F32.String() != "f32" {
+		t.Errorf("Precision.String: got %q/%q", F64.String(), F32.String())
+	}
+}
+
+// relFrobErr returns ‖got−want‖_F / (1 + ‖want‖_F).
+func relFrobErr(got, want *tensor.Tensor) float64 {
+	var num, den float64
+	for i := range want.Data {
+		d := got.Data[i] - want.Data[i]
+		num += d * d
+		den += want.Data[i] * want.Data[i]
+	}
+	return math.Sqrt(num) / (1 + math.Sqrt(den))
+}
+
+// f32StepTol is the acceptance bound for the float32 compute path at the
+// K-FAC step level: the preconditioned gradient must stay within float32
+// working precision of the float64 reference, allowing for the damped
+// spectral amplification (γ = 1e-3 admits condition numbers up to ~1e3 on
+// the tiny-net factors, multiplying the ~1e-7 elementwise round-off).
+const f32StepTol = 1e-3
+
+// TestF32StepMatchesF64SingleProcess runs several full preconditioned steps
+// through the float32 kernel path — factors, eigendecompositions stay f64,
+// but every Gram product and preconditioning matmul runs in float32 — and
+// requires each layer's final gradient to track the float64 reference
+// within f32StepTol, for both preconditioning modes and both step engines.
+func TestF32StepMatchesF64SingleProcess(t *testing.T) {
+	for _, mode := range []Mode{EigenMode, InverseMode} {
+		for _, engine := range []Engine{EngineSync, EnginePipelined} {
+			base := Options{Mode: mode, Engine: engine, FactorUpdateFreq: 1, InvUpdateFreq: 2}
+			want := stepTrace(t, nil, base, 5)
+			f32opts := base
+			f32opts.Precision = F32
+			got := stepTrace(t, nil, f32opts, 5)
+			for i := range want {
+				if e := relFrobErr(got[i], want[i]); e > f32StepTol {
+					t.Errorf("mode=%v engine=%v layer %d: f32 relative error %.3e > %.0e",
+						mode, engine, i, e, f32StepTol)
+				}
+			}
+		}
+	}
+}
+
+// TestF32StepMatchesF64AcrossWorlds is the distributed counterpart: worlds
+// 1–4 under the round-robin COMM-OPT plan and the LayerWise-implied MEM-OPT
+// plan (which exercises the widened-pcBuf broadcast boundary: the float32
+// result must widen to float64 before the preconditioned-gradient
+// broadcast so full- and mixed-precision payloads stay wire-compatible).
+func TestF32StepMatchesF64AcrossWorlds(t *testing.T) {
+	for _, strategy := range []Strategy{RoundRobin, LayerWise} {
+		for p := 1; p <= 4; p++ {
+			base := Options{Strategy: strategy, FactorUpdateFreq: 1, InvUpdateFreq: 2}
+			want := worldStepTrace(t, p, base, 4)
+			f32opts := base
+			f32opts.Precision = F32
+			got := worldStepTrace(t, p, f32opts, 4)
+			for r := range want {
+				for i := range want[r] {
+					if e := relFrobErr(got[r][i], want[r][i]); e > f32StepTol {
+						t.Errorf("strategy=%v world %d rank %d layer %d: f32 relative error %.3e",
+							strategy, p, r, i, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestF32StepWithF32ComputeLayers drives the fully fused configuration the
+// trainer enables under --precision f32: the nn layers compute in float32
+// (so K-FAC consumes their native float32 captures via KFACCapturable32,
+// with no narrowing pass) and the preconditioner runs its float32 kernels.
+// The result must still track an all-float64 run of the same seed.
+func TestF32StepWithF32ComputeLayers(t *testing.T) {
+	trace := func(f32 bool) []*tensor.Tensor {
+		net := buildTinyNet(42)
+		opts := Options{FactorUpdateFreq: 1, InvUpdateFreq: 2}
+		if f32 {
+			nn.SetComputeF32(net, true)
+			opts.Precision = F32
+		}
+		prec := NewFromOptions(net, nil, opts)
+		defer prec.Close()
+		for i := 0; i < 5; i++ {
+			runStep(net, int64(1000+i), 4)
+			if err := prec.Step(0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out []*tensor.Tensor
+		for _, l := range nn.CapturableLayers(net) {
+			out = append(out, l.CombinedGrad().Clone())
+		}
+		return out
+	}
+	want := trace(false)
+	got := trace(true)
+	// Looser than f32StepTol: the forward/backward pass itself is float32
+	// here, so the captures (and hence factors) carry rounded inputs too.
+	const tol = 5e-3
+	for i := range want {
+		if e := relFrobErr(got[i], want[i]); e > tol {
+			t.Errorf("layer %d: fused f32 relative error %.3e > %.0e", i, e, tol)
+		}
+	}
+}
+
+// TestKFACStepSteadyStateZeroAllocsF32 extends the steady-state allocation
+// guard to the float32 path: once the mirrors and float32 workspaces have
+// settled, a stale-decomposition Step must not allocate.
+func TestKFACStepSteadyStateZeroAllocsF32(t *testing.T) {
+	net := buildTinyNet(81)
+	nn.SetComputeF32(net, true)
+	prec := NewFromOptions(net, nil, Options{
+		Precision: F32, FactorUpdateFreq: 1 << 30, InvUpdateFreq: 1 << 30, Damping: 1e-3,
+	})
+	runStep(net, 303, 4)
+	for i := 0; i < 3; i++ {
+		if err := prec.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := prec.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state f32 Step allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestF32FactorsStayFloat64 pins the convert-at-the-boundary contract: under
+// Precision == F32 the running-average factors, decompositions, and the
+// preconditioned-gradient buffer all remain float64 tensors (so factor
+// allreduce, decomposition records, and checkpoints are unchanged), while
+// the float32 state is confined to the derived mirrors.
+func TestF32FactorsStayFloat64(t *testing.T) {
+	net := buildTinyNet(82)
+	prec := NewFromOptions(net, nil, Options{Precision: F32, FactorUpdateFreq: 1, InvUpdateFreq: 1})
+	runStep(net, 304, 4)
+	if err := prec.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range prec.states {
+		if s.A == nil || s.G == nil || s.eigA == nil || s.eigG == nil || s.pcBuf == nil {
+			t.Fatalf("layer %d: float64 state missing under F32", i)
+		}
+		if s.f32 == nil || s.f32.qA == nil || s.f32.qG == nil {
+			t.Fatalf("layer %d: float32 mirrors not refreshed", i)
+		}
+		// The mirror must be the narrowed image of the current eigenbasis.
+		n := s.eigA.Q.Rows()
+		for j := 0; j < n*n; j++ {
+			if s.f32.qA.Data[j] != float32(s.eigA.Q.Data[j]) {
+				t.Fatalf("layer %d: stale qA mirror at %d", i, j)
+			}
+		}
+	}
+}

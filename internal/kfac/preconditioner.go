@@ -88,6 +88,12 @@ type Options struct {
 	// PipelineWorkers bounds the pipelined engine's compute pool
 	// (0 = GOMAXPROCS). Ignored by EngineSync.
 	PipelineWorkers int
+	// Precision selects the arithmetic width of the covariance and
+	// preconditioning kernels (default F64). F32 stores and multiplies in
+	// float32 with float64 accumulation; running averages, decompositions,
+	// communication, and checkpoints stay float64 regardless (see
+	// precision.go).
+	Precision Precision
 }
 
 func (o *Options) fillDefaults() {
@@ -146,6 +152,9 @@ type layerState struct {
 	// preconditioning with it). Storage still recycles: the pair
 	// ping-pongs between the two buffers.
 	eigSpareA, eigSpareG *linalg.Eigen
+
+	// Float32 mirrors and workspaces; nil unless Options.Precision == F32.
+	f32 *layerF32
 }
 
 // Preconditioner is the distributed K-FAC gradient preconditioner
@@ -197,7 +206,14 @@ func NewFromOptions(model nn.Layer, c *comm.Communicator, opts Options) *Precond
 			}
 		}
 		l.SetCapture(true)
-		p.states = append(p.states, &layerState{layer: l})
+		s := &layerState{layer: l}
+		if opts.Precision == F32 {
+			// Allocated eagerly: the pipelined engine refreshes a layer's A
+			// and G float32 mirrors from concurrent record consumers, so the
+			// lazy ensureF32 would race here.
+			s.f32 = &layerF32{}
+		}
+		p.states = append(p.states, s)
 	}
 	p.replan()
 	return p
@@ -303,7 +319,11 @@ func (p *Preconditioner) factorMemBytes() int64 {
 		elems += tlen(s.invA) + tlen(s.invG)
 		elems += eglen(s.eigA) + eglen(s.eigG) + eglen(s.eigSpareA) + eglen(s.eigSpareG)
 	}
-	return 8 * elems
+	bytes := 8 * elems
+	for _, s := range p.states {
+		bytes += 4 * s.f32MemElems()
+	}
+	return bytes
 }
 
 // FactorRefs lists the factors in placement order: (A₀, G₁, A₁, G₂, ...) —
@@ -392,6 +412,10 @@ func (p *Preconditioner) Step(lr float64) error {
 // (Equations 16–17). Both step engines share this path, so their factor
 // arithmetic is identical bit for bit.
 func (p *Preconditioner) computeCovState(s *layerState) {
+	if p.opts.Precision == F32 {
+		p.computeCovState32(s)
+		return
+	}
 	da, dg := FactorDims(s.layer)
 	covA := tensor.Ensure(&s.covA, da, da)
 	computeCovAInto(covA, s.layer, &s.sample)
@@ -554,6 +578,7 @@ func (p *Preconditioner) decomposeA(s *layerState) error {
 			return err
 		}
 		s.invA = inv
+		p.refreshF32A(s)
 		return nil
 	}
 	if s.eigSpareA == nil {
@@ -566,6 +591,7 @@ func (p *Preconditioner) decomposeA(s *layerState) error {
 	}
 	clampEigen(s.eigSpareA)
 	s.eigA, s.eigSpareA = s.eigSpareA, s.eigA
+	p.refreshF32A(s)
 	return nil
 }
 
@@ -580,6 +606,7 @@ func (p *Preconditioner) decomposeG(s *layerState) error {
 			return err
 		}
 		s.invG = inv
+		p.refreshF32G(s)
 		return nil
 	}
 	if s.eigSpareG == nil {
@@ -590,6 +617,7 @@ func (p *Preconditioner) decomposeG(s *layerState) error {
 	}
 	clampEigen(s.eigSpareG)
 	s.eigG, s.eigSpareG = s.eigSpareG, s.eigG
+	p.refreshF32G(s)
 	return nil
 }
 
@@ -700,6 +728,9 @@ func (p *Preconditioner) applyKLClip(lr float64, grads, preconds []*tensor.Tenso
 // decompositions, writing into the layer's reused workspace (which it
 // returns). grad must not alias the workspace tensors.
 func (p *Preconditioner) preconditionOne(s *layerState, grad *tensor.Tensor) *tensor.Tensor {
+	if p.opts.Precision == F32 {
+		return p.preconditionOne32(s, grad)
+	}
 	out, in := grad.Rows(), grad.Cols()
 	pc := tensor.Ensure(&s.pcBuf, out, in)
 	if p.opts.Mode == InverseMode {
@@ -823,6 +854,11 @@ func (p *Preconditioner) consumeRecords(block []float64) error {
 			// Fill the stored inverse in place, reusing its storage.
 			copy(tensor.Ensure(dst, n, n).Data, block[pos:pos+n*n])
 			pos += n * n
+			if isG {
+				p.refreshF32G(s)
+			} else {
+				p.refreshF32A(s)
+			}
 			continue
 		}
 		if pos+n+n*n > len(block) {
@@ -842,6 +878,11 @@ func (p *Preconditioner) consumeRecords(block []float64) error {
 		}
 		eg.SetFrom(block[pos:pos+n], block[pos+n:pos+n+n*n], n)
 		pos += n + n*n
+		if isG {
+			p.refreshF32G(s)
+		} else {
+			p.refreshF32A(s)
+		}
 	}
 	return nil
 }

@@ -15,7 +15,15 @@ type Arena struct {
 	mu      sync.Mutex
 	classes map[int]*arenaClass
 
-	// Outstanding counts checked-out tensors (for tests and leak checks).
+	// classes32 keys the float32 size classes separately from the float64
+	// ones: an element count names a different byte size per element width,
+	// so sharing one map would alias a 4-byte-per-element buffer with an
+	// 8-byte one of equal count and corrupt reuse accounting. See
+	// TestArenaMixedWidthClasses.
+	classes32 map[int]*arenaClass32
+
+	// Outstanding counts checked-out tensors of either width (for tests and
+	// leak checks).
 	outstanding int
 }
 
@@ -25,8 +33,19 @@ type arenaClass struct {
 	free []*Tensor // subset of all currently available
 }
 
+// arenaClass32 is the float32 twin of arenaClass.
+type arenaClass32 struct {
+	all  []*T32
+	free []*T32
+}
+
 // NewArena returns an empty arena.
-func NewArena() *Arena { return &Arena{classes: make(map[int]*arenaClass)} }
+func NewArena() *Arena {
+	return &Arena{
+		classes:   make(map[int]*arenaClass),
+		classes32: make(map[int]*arenaClass32),
+	}
+}
 
 // Get checks out a tensor of the given shape. Contents are unspecified
 // (stale values from a previous checkout); use GetZero when zeros are
@@ -82,12 +101,67 @@ func (a *Arena) Put(t *Tensor) {
 	a.mu.Unlock()
 }
 
+// Get32 checks out a float32 tensor of the given shape. Contents are
+// unspecified (stale values from a previous checkout); use GetZero32 when
+// zeros are required. Float32 tensors live in their own size classes —
+// never backed by, nor backing, float64 storage of equal element count.
+func (a *Arena) Get32(shape ...int) *T32 {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	a.mu.Lock()
+	cl := a.classes32[n]
+	if cl == nil {
+		cl = &arenaClass32{}
+		a.classes32[n] = cl
+	}
+	var t *T32
+	if k := len(cl.free); k > 0 {
+		t = cl.free[k-1]
+		cl.free[k-1] = nil
+		cl.free = cl.free[:k-1]
+	} else {
+		t = &T32{Data: make([]float32, n)}
+		cl.all = append(cl.all, t)
+	}
+	a.outstanding++
+	a.mu.Unlock()
+	setShape32(t, shape)
+	return t
+}
+
+// GetZero32 is Get32 with the returned tensor zero-filled.
+func (a *Arena) GetZero32(shape ...int) *T32 {
+	t := a.Get32(shape...)
+	t.Zero()
+	return t
+}
+
+// Put32 returns a float32 tensor obtained from Get32 to the arena ahead of
+// the next Reset, with the same ownership rules as Put.
+func (a *Arena) Put32(t *T32) {
+	n := len(t.Data)
+	a.mu.Lock()
+	cl := a.classes32[n]
+	if cl == nil {
+		a.mu.Unlock()
+		panic("tensor: Arena.Put32 of tensor not obtained from this arena")
+	}
+	cl.free = append(cl.free, t)
+	a.outstanding--
+	a.mu.Unlock()
+}
+
 // Reset reclaims every tensor the arena has handed out, making all storage
 // available to subsequent Gets. Outstanding tensors become invalid: their
 // storage will be reused.
 func (a *Arena) Reset() {
 	a.mu.Lock()
 	for _, cl := range a.classes {
+		cl.free = append(cl.free[:0], cl.all...)
+	}
+	for _, cl := range a.classes32 {
 		cl.free = append(cl.free[:0], cl.all...)
 	}
 	a.outstanding = 0

@@ -1,0 +1,98 @@
+package tensor
+
+// Float32 twins of the im2col/col2im lowering. The forward direction stays
+// entirely in float32 (it only moves data, never sums it); the backward
+// scatter widens to float64 because overlapping receptive fields accumulate
+// many contributions per pixel — the same "float32 compute, float64
+// accumulate" rule the matmul kernels follow.
+
+// Im2ColInto32 lowers the [N, C, H, W] float32 image x into the
+// caller-provided [N*outH*outW, C*kh*kw] column matrix — the float32 twin
+// of Im2ColInto. The destination is fully overwritten (padding positions
+// are zeroed explicitly), so reused workspace buffers are safe.
+func Im2ColInto32(cols, x *T32, kh, kw, stride, pad int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if cols.Shape[0] != n*outH*outW || cols.Shape[1] != c*kh*kw {
+		panic("tensor: Im2ColInto32 shape mismatch")
+	}
+	cols.Zero()
+	colW := c * kh * kw
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*stride - pad
+				row := cols.Data[((img*outH+oy)*outW+ox)*colW:]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							// Entire kernel row is padding: leave zeros.
+							idx += kw
+							continue
+						}
+						rowBase := chBase + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								row[idx] = x.Data[rowBase+ix]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2ImInto32 scatters the float32 column matrix back into image space,
+// accumulating overlapping contributions into a float64 [N, C, H, W]
+// destination (zeroed first). Widening at the scatter keeps the
+// input-gradient of the float32 convolution path as accurate as a float64
+// reduction of the float32 per-window values, and hands the upstream layer
+// an ordinary float64 gradient — the convert-at-the-boundary rule.
+func Col2ImInto32(x *Tensor, cols *T32, kh, kw, stride, pad int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if cols.Shape[0] != n*outH*outW || cols.Shape[1] != c*kh*kw {
+		panic("tensor: Col2ImInto32 shape mismatch")
+	}
+	x.Zero()
+	colW := c * kh * kw
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*stride - pad
+				row := cols.Data[((img*outH+oy)*outW+ox)*colW:]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							idx += kw
+							continue
+						}
+						rowBase := chBase + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								x.Data[rowBase+ix] += float64(row[idx])
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+}

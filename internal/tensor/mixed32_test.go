@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randT32 returns a shape-sized float32 tensor with entries drawn uniformly
+// from [-1, 1) (values representable exactly at float32 by construction).
+func randT32(rng *rand.Rand, shape ...int) *T32 {
+	t := NewT32(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.Float64()*2 - 1)
+	}
+	return t
+}
+
+// widen64 returns the float64 tensor holding exactly t's values.
+func widen64(t *T32) *Tensor {
+	d := New(t.Shape...)
+	Widen(d.Data, t.Data)
+	return d
+}
+
+// mixedTol returns the per-element error budget of a k-length float32 inner
+// product under the chunked-float64 accumulation scheme, relative to scale
+// (a bound on Σ|aᵢ||bᵢ|): at most kChunk32 float32 additions accumulate in
+// working precision before each fold, so the error is O(kChunk32·ε₃₂·scale)
+// independent of k. The constant is generous (≈8× the worst-case bound) so
+// the test rejects wrong math, not unlucky rounding.
+func mixedTol(scale float64) float64 {
+	const eps32 = 1.1920929e-07
+	return 64 * eps32 * 8 * (scale + 1)
+}
+
+// checkMatClose fails if got and want (same shape) differ anywhere by more
+// than mixedTol of the row scale.
+func checkMatClose(t *testing.T, name string, got *T32, want *Tensor, scale float64) {
+	t.Helper()
+	tol := mixedTol(scale)
+	for i, g := range got.Data {
+		if d := math.Abs(float64(g) - want.Data[i]); d > tol {
+			t.Fatalf("%s: element %d: got %v want %v (|Δ|=%.3e > tol %.3e)", name, i, g, want.Data[i], d, tol)
+		}
+	}
+}
+
+// TestMatMul32FamilyMatchesFloat64Oracle drives each float32 matmul kernel
+// over random shapes — below and above both the k-chunk boundary and the
+// parallel threshold — and compares against the float64 kernels run on
+// widened copies of the same (exactly representable) inputs. This is the
+// ULP-bounded oracle harness of the mixed-precision path: only accumulation
+// error can differ, and that is bounded by the chunk length.
+func TestMatMul32FamilyMatchesFloat64Oracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {2, 3, 4}, {5, 64, 7}, {8, 65, 9},
+		{16, 200, 24}, {33, 513, 17}, {96, 300, 80}, // last exceeds parallelThreshold
+	}
+	for _, sh := range shapes {
+		a := randT32(rng, sh.m, sh.k)
+		b := randT32(rng, sh.k, sh.n)
+		aT := randT32(rng, sh.k, sh.m)
+		bT := randT32(rng, sh.n, sh.k)
+		scale := float64(sh.k) // |entries| ≤ 1 ⇒ Σ|prod| ≤ k
+
+		got := NewT32(sh.m, sh.n)
+		want := New(sh.m, sh.n)
+		MatMulInto32(got, a, b)
+		MatMulInto(want, widen64(a), widen64(b))
+		checkMatClose(t, "MatMulInto32", got, want, scale)
+
+		MatMulT1Into32(got, aT, b)
+		MatMulT1Into(want, widen64(aT), widen64(b))
+		checkMatClose(t, "MatMulT1Into32", got, want, scale)
+
+		MatMulT2Into32(got, a, bT)
+		MatMulT2Into(want, widen64(a), widen64(bT))
+		checkMatClose(t, "MatMulT2Into32", got, want, scale)
+	}
+}
+
+// TestKernelPrimitivesMatchScalarOracle compares the active (possibly SIMD)
+// implementations of every float32 primitive against the portable scalar
+// oracle at sizes straddling every vector-width boundary and tail case.
+// Tolerances, not bit-equality: the SIMD path fuses multiply-adds and
+// reassociates lane sums.
+func TestKernelPrimitivesMatchScalarOracle(t *testing.T) {
+	t.Logf("active kernel ISA: %s", KernelISA())
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{0, 1, 3, 4, 7, 8, 9, 31, 32, 33, 63, 64, 100, 511, 512, 513, 1000}
+	const eps32 = 1.1920929e-07
+	for _, n := range sizes {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.Float64()*2 - 1)
+			y[i] = float32(rng.Float64()*2 - 1)
+		}
+
+		// Axpy32 vs scalar.
+		d1 := append([]float32(nil), x...)
+		d2 := append([]float32(nil), x...)
+		Axpy32(d1, y, 0.75)
+		axpy32Scalar(d2, y, 0.75)
+		for i := range d1 {
+			if math.Abs(float64(d1[i]-d2[i])) > 4*eps32 {
+				t.Fatalf("Axpy32 n=%d i=%d: %v vs %v", n, i, d1[i], d2[i])
+			}
+		}
+
+		// DotAcc32 vs scalar-chunk oracle.
+		var want float64
+		for off := 0; off < n; off += dotChunk32 {
+			end := off + dotChunk32
+			if end > n {
+				end = n
+			}
+			want += dotAcc32Scalar(x[off:end], y[off:end])
+		}
+		if got := DotAcc32(x, y); math.Abs(got-want) > 512*eps32*float64(n+1) {
+			t.Fatalf("DotAcc32 n=%d: %v vs %v", n, got, want)
+		}
+
+		// FoldAcc32 vs scalar (exact: both do float64 adds of exact widenings).
+		acc1 := make([]float64, n)
+		acc2 := make([]float64, n)
+		for i := range acc1 {
+			acc1[i] = rng.Float64()
+			acc2[i] = acc1[i]
+		}
+		FoldAcc32(acc1, x)
+		foldAccScalar(acc2, x)
+		for i := range acc1 {
+			if acc1[i] != acc2[i] {
+				t.Fatalf("FoldAcc32 n=%d i=%d: %v vs %v", n, i, acc1[i], acc2[i])
+			}
+		}
+
+		// Rot32 vs scalar.
+		x1, y1 := append([]float32(nil), x...), append([]float32(nil), y...)
+		x2, y2 := append([]float32(nil), x...), append([]float32(nil), y...)
+		c, s := float32(0.8), float32(0.6)
+		Rot32(x1, y1, c, s)
+		rot32Scalar(x2, y2, c, s)
+		for i := range x1 {
+			if math.Abs(float64(x1[i]-x2[i])) > 4*eps32 || math.Abs(float64(y1[i]-y2[i])) > 4*eps32 {
+				t.Fatalf("Rot32 n=%d i=%d: (%v,%v) vs (%v,%v)", n, i, x1[i], y1[i], x2[i], y2[i])
+			}
+		}
+
+		// Widen and Narrow are exact conversions: bit-equality required.
+		w1 := make([]float64, n)
+		w2 := make([]float64, n)
+		Widen(w1, x)
+		widenScalar(w2, x)
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatalf("Widen n=%d i=%d: %v vs %v", n, i, w1[i], w2[i])
+			}
+		}
+		n1 := make([]float32, n)
+		n2 := make([]float32, n)
+		Narrow(n1, w1)
+		narrowScalar(n2, w1)
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatalf("Narrow n=%d i=%d: %v vs %v", n, i, n1[i], n2[i])
+			}
+		}
+	}
+}
+
+// TestIm2Col32MatchesFloat64 checks the float32 lowering against the
+// float64 one (exact: no arithmetic happens) and the widening Col2ImInto32
+// scatter against the float64 Col2ImInto (tolerance: the float64 path sums
+// float64 values, the mixed path sums widened float32 values — equal here
+// because the inputs are exactly representable).
+func TestIm2Col32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, c, h, w, kh, kw, stride, pad = 2, 3, 7, 6, 3, 3, 2, 1
+	x32 := randT32(rng, n, c, h, w)
+	x64 := widen64(x32)
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+
+	cols32 := NewT32(n*outH*outW, c*kh*kw)
+	cols64 := New(n*outH*outW, c*kh*kw)
+	Im2ColInto32(cols32, x32, kh, kw, stride, pad)
+	Im2ColInto(cols64, x64, kh, kw, stride, pad)
+	for i, v := range cols32.Data {
+		if float64(v) != cols64.Data[i] {
+			t.Fatalf("Im2ColInto32 element %d: %v vs %v", i, v, cols64.Data[i])
+		}
+	}
+
+	dx32 := New(n, c, h, w)
+	dx64 := New(n, c, h, w)
+	Col2ImInto32(dx32, cols32, kh, kw, stride, pad)
+	Col2ImInto(dx64, cols64, kh, kw, stride, pad)
+	for i := range dx32.Data {
+		if dx32.Data[i] != dx64.Data[i] {
+			t.Fatalf("Col2ImInto32 element %d: %v vs %v", i, dx32.Data[i], dx64.Data[i])
+		}
+	}
+}
+
+// TestEnsure32ReusesStorage verifies the float32 buffer-reuse primitive:
+// same capacity ⇒ same backing array, larger need ⇒ fresh allocation.
+func TestEnsure32ReusesStorage(t *testing.T) {
+	var buf *T32
+	a := Ensure32(&buf, 4, 8)
+	a.Data[0] = 42
+	b := Ensure32(&buf, 8, 4)
+	if &a.Data[0] != &b.Data[0] {
+		t.Fatal("Ensure32 did not reuse storage for equal element count")
+	}
+	if b.Rows() != 8 || b.Cols() != 4 {
+		t.Fatalf("Ensure32 shape = %v", b.Shape)
+	}
+	c := Ensure32(&buf, 16, 16)
+	if len(c.Data) != 256 {
+		t.Fatalf("Ensure32 grow: len = %d", len(c.Data))
+	}
+	if allocs := testing.AllocsPerRun(100, func() { Ensure32(&buf, 16, 16) }); allocs != 0 {
+		t.Fatalf("steady-state Ensure32 allocates %v times per call", allocs)
+	}
+}
+
+// TestMatMul32ZeroAllocSteadyState asserts the float32 kernels allocate
+// nothing once their pooled workspaces are warm — the same discipline the
+// float64 hot path maintains.
+func TestMatMul32ZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randT32(rng, 24, 200)
+	b := randT32(rng, 200, 24)
+	bT := randT32(rng, 24, 200)
+	dst := NewT32(24, 24)
+	// Warm the workspace pools.
+	MatMulInto32(dst, a, b)
+	MatMulT1Into32(dst, b, b)
+	MatMulT2Into32(dst, a, bT)
+	if allocs := testing.AllocsPerRun(10, func() {
+		MatMulInto32(dst, a, b)
+		MatMulT1Into32(dst, b, b)
+		MatMulT2Into32(dst, a, bT)
+	}); allocs != 0 {
+		t.Fatalf("float32 matmul kernels allocate %v times per step", allocs)
+	}
+}

@@ -1,0 +1,101 @@
+package tensor
+
+import "fmt"
+
+// T32 is a dense, row-major float32 tensor — the storage type of the
+// mixed-precision compute path. It deliberately mirrors Tensor's layout
+// (a shape plus a flat slice) but carries none of Tensor's arithmetic
+// surface: T32 buffers exist to feed the *32 kernels (MatMulInto32,
+// SymMulT1Into32, ...) and are converted back to float64 at the
+// boundaries (see docs/ARCHITECTURE.md, "convert at the boundary").
+type T32 struct {
+	Shape []int
+	Data  []float32
+}
+
+// NewT32 returns a zero-filled float32 tensor of the given shape.
+func NewT32(shape ...int) *T32 {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", s, shape))
+		}
+		n *= s
+	}
+	return &T32{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// Len returns the total number of elements.
+func (t *T32) Len() int { return len(t.Data) }
+
+// Rows returns the first dimension of a matrix.
+func (t *T32) Rows() int { return t.Shape[0] }
+
+// Cols returns the second dimension of a matrix.
+func (t *T32) Cols() int { return t.Shape[1] }
+
+// Zero sets every element to 0.
+func (t *T32) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// NarrowFrom overwrites t with src rounded to float32. Element counts must
+// match; shapes are not reconciled (callers size t via Ensure32 first).
+func (t *T32) NarrowFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: NarrowFrom size mismatch %d vs %d", len(t.Data), len(src.Data)))
+	}
+	Narrow(t.Data, src.Data)
+}
+
+// WidenInto overwrites dst with t widened to float64. Element counts must
+// match.
+func (t *T32) WidenInto(dst *Tensor) {
+	if len(t.Data) != len(dst.Data) {
+		panic(fmt.Sprintf("tensor: WidenInto size mismatch %d vs %d", len(t.Data), len(dst.Data)))
+	}
+	Widen(dst.Data, t.Data)
+}
+
+// setShape32 points t at the given shape, reusing t's shape slice when the
+// dimensionality matches — the float32 twin of setShape.
+func setShape32(t *T32, shape []int) {
+	if cap(t.Shape) >= len(shape) {
+		t.Shape = t.Shape[:len(shape)]
+		copy(t.Shape, shape)
+		return
+	}
+	t.Shape = append([]int(nil), shape...)
+}
+
+// Ensure32 returns a float32 tensor of the given shape backed by (*buf)'s
+// storage when its capacity suffices, else a fresh allocation, storing the
+// result back into *buf — the float32 twin of Ensure, and the primitive the
+// per-layer f32 workspaces (nn forward/backward scratch, K-FAC eigenbasis
+// mirrors) are built on. Contents are unspecified when storage is reused.
+func Ensure32(buf **T32, shape ...int) *T32 {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	t := *buf
+	if t != nil && cap(t.Data) >= n {
+		t.Data = t.Data[:n]
+		setShape32(t, shape)
+		return t
+	}
+	// Built directly (not via NewT32) so the variadic shape slice provably
+	// does not escape and steady-state callers allocate nothing.
+	t = &T32{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+	*buf = t
+	return t
+}
+
+// EnsureZero32 is Ensure32 with the returned tensor zero-filled.
+func EnsureZero32(buf **T32, shape ...int) *T32 {
+	t := Ensure32(buf, shape...)
+	t.Zero()
+	return t
+}

@@ -6,6 +6,16 @@
 //
 //	go run ./tools/benchdiff -ref bench -new bench-artifacts
 //	go run ./tools/benchdiff -ref bench -new bench-artifacts -strict
+//	go run ./tools/benchdiff -a bench -b bench-artifacts
+//	go run ./tools/benchdiff -a bench -b bench -suffix _f32
+//
+// The -a/-b pair is the general two-directory form (-a is the baseline,
+// -b the candidate); -ref/-new remain as the regression-gate spelling and
+// the two pairs are interchangeable. With -suffix S, side B keeps only the
+// scenarios whose name ends in S, rekeyed without the suffix — so
+// `-a bench -b bench -suffix _f32` lines the committed mixed-precision
+// cells (medium_sync_f32, …) up against their float64 counterparts and
+// prints the measured speedup as a negative step-time delta.
 //
 // Scenarios are matched by their "scenario" field; entries present on only
 // one side are listed but never fail the run (the matrices may evolve).
@@ -23,12 +33,16 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
-// load reads every BENCH_*.json in dir, keyed by scenario.
-func load(dir string) (map[string]*experiments.BenchResult, error) {
+// load reads every BENCH_*.json in dir, keyed by scenario. A non-empty
+// suffix keeps only scenarios ending in it and strips it from the key, so a
+// suffixed matrix slice (e.g. the _f32 cells) can be compared against its
+// unsuffixed baseline.
+func load(dir, suffix string) (map[string]*experiments.BenchResult, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return nil, err
@@ -46,7 +60,14 @@ func load(dir string) (map[string]*experiments.BenchResult, error) {
 		if r.Scenario == "" {
 			return nil, fmt.Errorf("%s: missing scenario field", p)
 		}
-		out[r.Scenario] = &r
+		key := r.Scenario
+		if suffix != "" {
+			if !strings.HasSuffix(key, suffix) {
+				continue
+			}
+			key = strings.TrimSuffix(key, suffix)
+		}
+		out[key] = &r
 	}
 	return out, nil
 }
@@ -63,6 +84,9 @@ func main() {
 	var (
 		refDir    = flag.String("ref", "bench", "directory holding the committed reference BENCH_*.json")
 		newDir    = flag.String("new", ".", "directory holding the fresh run's BENCH_*.json")
+		aDir      = flag.String("a", "", "baseline directory (general two-directory form; overrides -ref)")
+		bDir      = flag.String("b", "", "candidate directory (general two-directory form; overrides -new)")
+		suffix    = flag.String("suffix", "", "keep only side-B scenarios with this suffix, rekeyed without it (e.g. _f32)")
 		stepTol   = flag.Float64("step-tol", 0.50, "allowed relative step-time increase (0.50 = +50%)")
 		allocsTol = flag.Float64("allocs-tol", 0.10, "allowed relative allocs/step increase beyond the absolute slack")
 		allocsAbs = flag.Float64("allocs-abs", 2, "absolute allocs/step slack before the relative tolerance applies")
@@ -70,12 +94,19 @@ func main() {
 	)
 	flag.Parse()
 
-	ref, err := load(*refDir)
+	baseline, candidate := *refDir, *newDir
+	if *aDir != "" {
+		baseline = *aDir
+	}
+	if *bDir != "" {
+		candidate = *bDir
+	}
+	ref, err := load(baseline, "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff: ref:", err)
 		os.Exit(2)
 	}
-	fresh, err := load(*newDir)
+	fresh, err := load(candidate, *suffix)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff: new:", err)
 		os.Exit(2)
@@ -116,9 +147,13 @@ func main() {
 			r.SteadyAllocsPerStep, n.SteadyAllocsPerStep, mark)
 	}
 	var refOnly []string
-	for s := range ref {
-		if _, ok := fresh[s]; !ok {
-			refOnly = append(refOnly, s)
+	if *suffix == "" {
+		// Under -suffix the sides intentionally cover different matrix
+		// slices; listing the unsuffixed remainder as "missing" is noise.
+		for s := range ref {
+			if _, ok := fresh[s]; !ok {
+				refOnly = append(refOnly, s)
+			}
 		}
 	}
 	sort.Strings(refOnly)
