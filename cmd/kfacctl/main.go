@@ -1,0 +1,207 @@
+// Command kfacctl is the client CLI for the kfacd control-plane daemon.
+//
+//	kfacctl submit -f job.json        submit a job spec (or "-" for stdin)
+//	kfacctl list                      list all jobs
+//	kfacctl inspect j-0001            one job, full spec + result
+//	kfacctl pause j-0001              park a job, checkpoint retained
+//	kfacctl resume j-0001             re-queue a paused job
+//	kfacctl cancel j-0001             terminate via consensus stop
+//	kfacctl metrics j-0001 -follow    stream step metrics
+//	kfacctl wait j-0001               block until settled
+//	kfacctl checkpoints j-0001        the job's stored checkpoints
+//	kfacctl store                     store-wide stats
+//
+// The daemon address comes from -addr or the KFACD_ADDR environment
+// variable (default http://127.0.0.1:7070).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ctl"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kfacctl:", err)
+	os.Exit(1)
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+func jobLine(v ctl.JobView) string {
+	return fmt.Sprintf("%-8s %-10s %-12s user=%-10s world=%d metrics=%d",
+		v.ID, v.Name, v.State, v.User, v.World, v.Metrics)
+}
+
+func main() {
+	base := os.Getenv("KFACD_ADDR")
+	if base == "" {
+		base = "http://127.0.0.1:7070"
+	}
+	flag.StringVar(&base, "addr", base, "kfacd base URL")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(),
+			"usage: kfacctl [-addr URL] {submit -f FILE|list|inspect ID|pause ID|resume ID|cancel ID|metrics ID [-since N] [-follow]|wait ID|checkpoints ID|store|health}")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := ctl.NewClient(base, nil)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	cmd, rest := args[0], args[1:]
+	needID := func() string {
+		if len(rest) < 1 {
+			fail(fmt.Errorf("%s needs a job id", cmd))
+		}
+		return rest[0]
+	}
+	switch cmd {
+	case "health":
+		if err := c.Health(ctx); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok")
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		file := fs.String("f", "", "job spec JSON file (\"-\" for stdin)")
+		wait := fs.Bool("wait", false, "block until the job settles")
+		fs.Parse(rest) //nolint:errcheck // ExitOnError
+		if *file == "" {
+			fail(fmt.Errorf("submit needs -f FILE"))
+		}
+		var raw []byte
+		var err error
+		if *file == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			fail(err)
+		}
+		var spec ctl.JobSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			fail(fmt.Errorf("parsing %s: %w", *file, err))
+		}
+		v, err := c.Submit(ctx, &spec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(jobLine(v))
+		if *wait {
+			v, err = c.WaitSettled(ctx, v.ID)
+			if err != nil {
+				fail(err)
+			}
+			printJSON(v)
+		}
+	case "list":
+		vs, err := c.Jobs(ctx)
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range vs {
+			fmt.Println(jobLine(v))
+		}
+	case "inspect":
+		v, err := c.Job(ctx, needID())
+		if err != nil {
+			fail(err)
+		}
+		printJSON(v)
+	case "pause":
+		v, err := c.Pause(ctx, needID())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(jobLine(v))
+	case "resume":
+		v, err := c.Resume(ctx, needID())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(jobLine(v))
+	case "cancel":
+		v, err := c.Cancel(ctx, needID())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(jobLine(v))
+	case "wait":
+		v, err := c.WaitSettled(ctx, needID())
+		if err != nil {
+			fail(err)
+		}
+		printJSON(v)
+	case "metrics":
+		id := needID()
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		since := fs.Int("since", 0, "return metrics with seq above this")
+		follow := fs.Bool("follow", false, "poll until the job settles")
+		fs.Parse(rest[1:]) //nolint:errcheck // ExitOnError
+		cursor := *since
+		for {
+			ms, err := c.Metrics(ctx, id, cursor)
+			if err != nil {
+				fail(err)
+			}
+			for _, m := range ms {
+				fmt.Printf("seq=%d epoch=%d iter=%d lr=%.5f loss=%.5f step=%s\n",
+					m.Seq, m.Epoch, m.Iteration, m.LR, m.Loss, time.Duration(m.StepNS))
+				cursor = m.Seq
+			}
+			if !*follow {
+				break
+			}
+			v, err := c.Job(ctx, id)
+			if err != nil {
+				fail(err)
+			}
+			if v.State.Terminal() || v.State == ctl.Paused {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(300 * time.Millisecond):
+			}
+		}
+	case "checkpoints":
+		cks, err := c.Checkpoints(ctx, needID())
+		if err != nil {
+			fail(err)
+		}
+		for _, ck := range cks {
+			fmt.Printf("seq=%d sum=%s time=%s\n", ck.Seq, ck.Sum, ck.Time.Format(time.RFC3339))
+		}
+	case "store":
+		st, err := c.StoreStats(ctx)
+		if err != nil {
+			fail(err)
+		}
+		printJSON(st)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -11,6 +11,7 @@
 package checkpoint
 
 import (
+	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -102,16 +103,82 @@ func (f *File) Write(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(f)
 }
 
-// Read decodes a checkpoint from r.
+// Sum returns the SHA-256 digest of the checkpoint's canonical serialized
+// bytes — exactly the bytes Write emits (and Save persists), so the digest
+// of an in-memory File equals the digest of its on-disk form and survives
+// a Save/Load round trip. File contains only integers and ordered slices
+// (never maps), so gob encoding — and therefore the digest — is
+// deterministic for a given value. This is the key the content-addressed
+// checkpoint store (internal/ckptstore) files objects under: two
+// checkpoints with identical training state share one digest and one
+// stored object.
+func (f *File) Sum() ([32]byte, error) {
+	h := sha256.New()
+	if err := f.Write(h); err != nil {
+		return [32]byte{}, fmt.Errorf("checkpoint: hashing: %w", err)
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
+}
+
+// Read decodes a checkpoint from r. Truncated streams, non-checkpoint
+// bytes, unknown versions, and internally inconsistent entries (a tensor
+// whose shape does not describe its data) are all rejected with a
+// descriptive error — a corrupt file can never panic a later Restore or
+// ExtraTensor call.
 func Read(r io.Reader) (*File, error) {
 	var f File
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return nil, fmt.Errorf("checkpoint: decode: truncated or empty stream: %w", err)
+		}
 		return nil, fmt.Errorf("checkpoint: decode: %w", err)
 	}
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", f.Version)
 	}
+	if f.Epoch < 0 || f.Step < 0 {
+		return nil, fmt.Errorf("checkpoint: negative progress (epoch %d, step %d)", f.Epoch, f.Step)
+	}
+	for _, sec := range []struct {
+		name    string
+		entries []Entry
+	}{{"param", f.Params}, {"buffer", f.Buffers}, {"extra", f.Extra}} {
+		for _, e := range sec.entries {
+			if err := e.validate(); err != nil {
+				return nil, fmt.Errorf("checkpoint: %s %q: %w", sec.name, e.Name, err)
+			}
+		}
+	}
 	return &f, nil
+}
+
+// validate checks that the entry's shape describes its data: every
+// dimension positive and the dimension product equal to the element count.
+// Gob decodes whatever ints were in the stream, so a corrupted or
+// hand-crafted file can carry any inconsistency; this is the gate that
+// keeps it from reaching tensor construction (which would panic).
+func (e Entry) validate() error {
+	n := 1
+	for _, d := range e.Shape {
+		if d <= 0 {
+			return fmt.Errorf("invalid shape %v", e.Shape)
+		}
+		// Guard the product against overflow from adversarially huge dims:
+		// bail as soon as it can no longer match len(Data).
+		if n > len(e.Data)+1 {
+			break
+		}
+		n *= d
+	}
+	if len(e.Shape) == 0 {
+		n = 0
+	}
+	if n != len(e.Data) {
+		return fmt.Errorf("shape %v does not describe %d data elements", e.Shape, len(e.Data))
+	}
+	return nil
 }
 
 // Restore copies the checkpoint's parameters into model. Every checkpoint
@@ -178,12 +245,17 @@ func (f *File) Save(path string) error {
 	return os.Rename(tmp, path)
 }
 
-// Load reads a checkpoint from path.
+// Load reads a checkpoint from path, naming the file in any decode or
+// validation error so a corrupt checkpoint on disk is diagnosable.
 func Load(path string) (*File, error) {
 	r, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	defer r.Close()
-	return Read(r)
+	f, err := Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return f, nil
 }

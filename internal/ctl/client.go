@@ -1,0 +1,163 @@
+package ctl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/ckptstore"
+)
+
+// Client talks to a kfacd daemon over its HTTP JSON API. The zero value is
+// not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7070"). httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// do issues one API request and decodes the JSON response into out (when
+// non-nil). Non-2xx responses surface the server's error envelope.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("ctl: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e apiError
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s", e.Error)
+		}
+		return fmt.Errorf("ctl: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("ctl: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Health checks the daemon's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Submit submits a job spec and returns the created job's view.
+func (c *Client) Submit(ctx context.Context, spec *JobSpec) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", spec, &v)
+	return v, err
+}
+
+// Jobs lists every job, submit order.
+func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
+	var vs []JobView
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &vs)
+	return vs, err
+}
+
+// Job fetches one job's full view, spec included.
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Pause parks a job; see Daemon.Pause for the semantics.
+func (c *Client) Pause(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs/"+id+"/pause", nil, &v)
+	return v, err
+}
+
+// Resume re-queues a paused job.
+func (c *Client) Resume(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs/"+id+"/resume", nil, &v)
+	return v, err
+}
+
+// Cancel terminates a job through the consensus-stop path.
+func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs/"+id+"/cancel", nil, &v)
+	return v, err
+}
+
+// Metrics returns the job's retained step metrics with Seq > after.
+func (c *Client) Metrics(ctx context.Context, id string, after int) ([]StepMetric, error) {
+	var ms []StepMetric
+	err := c.do(ctx, http.MethodGet,
+		fmt.Sprintf("/api/v1/jobs/%s/metrics?since=%d", id, after), nil, &ms)
+	return ms, err
+}
+
+// Checkpoints lists the job's stored checkpoint refs, oldest first.
+func (c *Client) Checkpoints(ctx context.Context, id string) ([]CheckpointView, error) {
+	var cks []CheckpointView
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/checkpoints", nil, &cks)
+	return cks, err
+}
+
+// StoreStats returns the daemon's checkpoint-store statistics.
+func (c *Client) StoreStats(ctx context.Context) (ckptstore.Stats, error) {
+	var st ckptstore.Stats
+	err := c.do(ctx, http.MethodGet, "/api/v1/store", nil, &st)
+	return st, err
+}
+
+// WaitSettled polls until the job is terminal or Paused (interval capped
+// at 250ms) and returns its final view.
+func (c *Client) WaitSettled(ctx context.Context, id string) (JobView, error) {
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return v, err
+		}
+		if v.State.Terminal() || v.State == Paused {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package ctl
+
+import (
+	"context"
+	"time"
+)
+
+// Result summarizes a finished (or paused) job's training outcome.
+type Result struct {
+	// Epochs is how many epochs completed across all generations.
+	Epochs int `json:"epochs"`
+	// Iterations is the global optimizer-step count reached.
+	Iterations int `json:"iterations"`
+	// FinalTrainLoss is the last completed epoch's mean training loss.
+	FinalTrainLoss float64 `json:"final_train_loss,omitempty"`
+	// FinalTestAcc is the last completed epoch's test accuracy.
+	FinalTestAcc float64 `json:"final_test_acc,omitempty"`
+	// Generations is how many elastic generations the run spanned (1 =
+	// no failures).
+	Generations int `json:"generations,omitempty"`
+}
+
+// job is the daemon's mutable record of one submitted job. All fields
+// beyond the immutables (id, spec, submit time, metrics buffer pointer)
+// are guarded by the owning Daemon's mutex.
+type job struct {
+	id     string
+	spec   *JobSpec
+	state  State
+	err    string // rejection or failure cause when state == Failed
+	result *Result
+
+	submitted time.Time
+	started   time.Time // first entry into Running
+	finished  time.Time // entry into a terminal state or Paused
+
+	metrics *metricsBuffer
+
+	// cancel tears down the running attempt's context; the two request
+	// flags disambiguate why it fired.
+	cancel          context.CancelFunc
+	pauseRequested  bool
+	cancelRequested bool
+}
+
+// JobView is the immutable JSON projection of a job the API serves.
+type JobView struct {
+	// ID is the daemon-assigned identifier ("j-0001", ...).
+	ID string `json:"id"`
+	// Name echoes the spec's human label.
+	Name string `json:"name"`
+	// User is the fair-share principal.
+	User string `json:"user"`
+	// State is the lifecycle position at snapshot time.
+	State State `json:"state"`
+	// World is the job's worker quota.
+	World int `json:"world"`
+	// Error is the admission-rejection or failure cause, if any.
+	Error string `json:"error,omitempty"`
+	// Submitted, Started, and Finished are lifecycle timestamps
+	// (zero when not yet reached).
+	Submitted time.Time `json:"submitted"`
+	// Started is the first entry into Running.
+	Started time.Time `json:"started,omitzero"`
+	// Finished is the entry into a terminal state or Paused.
+	Finished time.Time `json:"finished,omitzero"`
+	// Metrics is the total number of step metrics recorded so far.
+	Metrics int `json:"metrics"`
+	// Result carries the training outcome once available.
+	Result *Result `json:"result,omitempty"`
+	// Spec is the full submitted declaration.
+	Spec *JobSpec `json:"spec,omitempty"`
+}
+
+// view snapshots the job. Caller holds the daemon mutex; withSpec controls
+// whether the full spec rides along (inspect) or stays off the wire (list).
+func (j *job) view(withSpec bool) JobView {
+	v := JobView{
+		ID:        j.id,
+		Name:      j.spec.Name,
+		User:      j.spec.User,
+		State:     j.state,
+		World:     j.spec.World,
+		Error:     j.err,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Metrics:   j.metrics.total(),
+	}
+	if j.result != nil {
+		r := *j.result
+		v.Result = &r
+	}
+	if withSpec {
+		v.Spec = j.spec
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package ctl
+
+import (
+	"sync"
+	"time"
+)
+
+// StepMetric is one optimizer step of one job, as streamed to API clients.
+// Values come straight from the trainer's StepInfo hook payload (rank 0's
+// view) — no side channels.
+type StepMetric struct {
+	// Seq numbers the metric within the job's whole lifetime (1-based,
+	// strictly increasing across pause/resume and recovery generations) —
+	// the cursor of the streaming contract: clients poll with
+	// ?since=<last seen Seq> and receive only newer entries.
+	Seq int `json:"seq"`
+	// Epoch is the zero-based training epoch of the step.
+	Epoch int `json:"epoch"`
+	// Iteration is the global optimizer-step count after the step.
+	Iteration int `json:"iteration"`
+	// LR is the learning rate the step used.
+	LR float64 `json:"lr"`
+	// Loss is rank 0's training loss for the step.
+	Loss float64 `json:"loss"`
+	// StepNS is the step's wall time on rank 0, in nanoseconds.
+	StepNS int64 `json:"step_ns"`
+	// UnixNano timestamps when the daemon recorded the metric.
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// metricsBuffer is a bounded ring of a job's most recent step metrics.
+// Appends never block training; once full, the oldest entries are
+// overwritten (clients that poll slower than capacity/step-rate observe a
+// gap in Seq, which the streaming contract makes detectable).
+type metricsBuffer struct {
+	mu   sync.Mutex
+	ring []StepMetric
+	next int // ring slot of the next append
+	seq  int // last issued Seq
+}
+
+func newMetricsBuffer(capacity int) *metricsBuffer {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	return &metricsBuffer{ring: make([]StepMetric, 0, capacity)}
+}
+
+// append records one step, stamping its Seq and arrival time.
+func (b *metricsBuffer) append(m StepMetric) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	m.Seq = b.seq
+	m.UnixNano = time.Now().UnixNano()
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, m)
+		b.next = len(b.ring) % cap(b.ring)
+		return
+	}
+	b.ring[b.next] = m
+	b.next = (b.next + 1) % cap(b.ring)
+}
+
+// since returns every retained metric with Seq > after, oldest first.
+func (b *metricsBuffer) since(after int) []StepMetric {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]StepMetric, 0, len(b.ring))
+	// Oldest-first walk: the ring is either not yet full (slots 0..len-1 in
+	// order) or full with the oldest entry at next.
+	start := 0
+	if len(b.ring) == cap(b.ring) {
+		start = b.next
+	}
+	for i := 0; i < len(b.ring); i++ {
+		m := b.ring[(start+i)%len(b.ring)]
+		if m.Seq > after {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// total returns the count of metrics ever recorded (≥ len(retained)).
+func (b *metricsBuffer) total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}

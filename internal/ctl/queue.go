@@ -1,0 +1,23 @@
+package ctl
+
+// pickNext implements fair-share scheduling over queued jobs: among the
+// Queued jobs (in submit order) whose World quota fits the free workers,
+// pick the one whose user currently holds the fewest running workers; ties
+// break by submit order. Returns nil when nothing fits.
+//
+// jobs must be in submit order. usage maps user → workers currently
+// reserved by that user's admitted/running jobs.
+func pickNext(jobs []*job, free int, usage map[string]int) *job {
+	var best *job
+	bestUse := 0
+	for _, j := range jobs {
+		if j.state != Queued || j.spec.World > free {
+			continue
+		}
+		use := usage[j.spec.User]
+		if best == nil || use < bestUse {
+			best, bestUse = j, use
+		}
+	}
+	return best
+}

@@ -1,0 +1,73 @@
+package ctl
+
+import "testing"
+
+func queuedJob(id, user string, world int) *job {
+	return &job{id: id, state: Queued, spec: &JobSpec{User: user, World: world}}
+}
+
+// Fair-share: the user with the least running share goes first, submit
+// order breaks ties, and jobs too big for the free pool are skipped
+// without blocking smaller ones behind them.
+func TestPickNextFairShare(t *testing.T) {
+	a1 := queuedJob("j-1", "alice", 2)
+	b1 := queuedJob("j-2", "bob", 2)
+	a2 := queuedJob("j-3", "alice", 2)
+	jobs := []*job{a1, b1, a2}
+
+	// Nobody running: FIFO.
+	if got := pickNext(jobs, 4, map[string]int{}); got != a1 {
+		t.Errorf("empty usage picked %v, want j-1 (FIFO)", got.id)
+	}
+	// Alice already holds workers: bob's job jumps ahead of hers.
+	if got := pickNext(jobs, 4, map[string]int{"alice": 2}); got != b1 {
+		t.Errorf("with alice running, picked %v, want j-2", got.id)
+	}
+	// Equal usage: back to submit order.
+	if got := pickNext(jobs, 4, map[string]int{"alice": 2, "bob": 2}); got != a1 {
+		t.Errorf("equal usage picked %v, want j-1", got.id)
+	}
+}
+
+func TestPickNextSkipsOversizedAndNonQueued(t *testing.T) {
+	big := queuedJob("j-1", "alice", 8)
+	small := queuedJob("j-2", "bob", 1)
+	running := queuedJob("j-3", "carol", 1)
+	running.state = Running
+
+	// Only 2 free: the 8-worker job cannot fit, the 1-worker one runs.
+	if got := pickNext([]*job{big, small, running}, 2, map[string]int{}); got != small {
+		t.Errorf("picked %v, want j-2 (j-1 oversized, j-3 not queued)", got)
+	}
+	// Nothing fits.
+	if got := pickNext([]*job{big}, 2, map[string]int{}); got != nil {
+		t.Errorf("picked %v from an unschedulable queue, want nil", got.id)
+	}
+}
+
+// The metrics ring drops oldest entries under pressure but keeps Seq
+// monotonic so clients can detect the gap.
+func TestMetricsBufferRingAndSince(t *testing.T) {
+	b := newMetricsBuffer(4)
+	for i := 1; i <= 6; i++ {
+		b.append(StepMetric{Iteration: i})
+	}
+	if b.total() != 6 {
+		t.Errorf("total = %d, want 6", b.total())
+	}
+	got := b.since(0)
+	if len(got) != 4 || got[0].Seq != 3 || got[3].Seq != 6 {
+		t.Fatalf("since(0) = %+v, want seqs 3..6", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Errorf("non-monotonic seqs: %+v", got)
+		}
+	}
+	if tail := b.since(5); len(tail) != 1 || tail[0].Iteration != 6 {
+		t.Errorf("since(5) = %+v, want just iteration 6", tail)
+	}
+	if none := b.since(6); len(none) != 0 {
+		t.Errorf("since(6) = %+v, want empty", none)
+	}
+}

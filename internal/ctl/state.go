@@ -1,0 +1,115 @@
+// Package ctl is the multi-job training control plane: the job spec and
+// lifecycle state machine, a fair-share queue with per-job worker quotas
+// over a shared fleet, an admission-control path that rejects jobs whose
+// planned K-FAC memory footprint cannot fit the fleet before they start,
+// and the daemon that executes admitted jobs through trainer.RunElastic
+// (so a killed worker mid-job recovers without operator action). The kfacd
+// binary wraps a Daemon in an HTTP JSON API; kfacctl is its client.
+//
+// See docs/ARCHITECTURE.md, "Control plane", for the state machine, the
+// admission formula, the checkpoint-store layout, and the metrics
+// streaming contract.
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// State is a job's lifecycle position. The machine is
+//
+//	Queued → Admitted → Running → {Completed, Failed, Cancelled, Paused}
+//
+// with Paused → Queued on resume (re-admitted under the same quota
+// accounting as a fresh job) and Cancelled reachable from every
+// non-terminal state. Queued → Failed records an admission rejection.
+type State int
+
+const (
+	// Queued: submitted and waiting for admission + free workers.
+	Queued State = iota
+	// Admitted: picked by the scheduler, workers reserved, launching.
+	Admitted
+	// Running: training (possibly across elastic recovery generations).
+	Running
+	// Completed: finished every configured epoch (terminal).
+	Completed
+	// Failed: admission rejection or an unrecoverable training error
+	// (terminal; Job.Error names the cause).
+	Failed
+	// Cancelled: stopped by operator request via the cooperative
+	// consensus-stop path (terminal).
+	Cancelled
+	// Paused: stopped by operator request with its latest checkpoint
+	// retained; Resume re-queues it to continue from that checkpoint.
+	Paused
+)
+
+var stateNames = map[State]string{
+	Queued:    "queued",
+	Admitted:  "admitted",
+	Running:   "running",
+	Completed: "completed",
+	Failed:    "failed",
+	Cancelled: "cancelled",
+	Paused:    "paused",
+}
+
+// String returns the lowercase wire name of the state.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ParseState inverts String.
+func ParseState(s string) (State, error) {
+	for st, n := range stateNames {
+		if n == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("ctl: unknown state %q", s)
+}
+
+// MarshalJSON encodes the state by name, keeping the API readable and the
+// enum order free to change.
+func (s State) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a state name.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	st, err := ParseState(name)
+	if err != nil {
+		return err
+	}
+	*s = st
+	return nil
+}
+
+// Terminal reports whether no further transition can leave the state.
+func (s State) Terminal() bool {
+	return s == Completed || s == Failed || s == Cancelled
+}
+
+// transitions is the legal-edge set of the lifecycle machine.
+var transitions = map[State][]State{
+	Queued:   {Admitted, Failed, Cancelled, Paused},
+	Admitted: {Running, Failed, Cancelled},
+	Running:  {Completed, Failed, Cancelled, Paused},
+	Paused:   {Queued, Cancelled},
+}
+
+// CanTransition reports whether from → to is a legal lifecycle edge.
+func CanTransition(from, to State) bool {
+	for _, t := range transitions[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package ctl
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The lifecycle machine: names round-trip, terminal states have no exits,
+// and the edge set matches the documented diagram.
+func TestStateNamesRoundTrip(t *testing.T) {
+	for st := range stateNames {
+		back, err := ParseState(st.String())
+		if err != nil || back != st {
+			t.Errorf("ParseState(%q) = %v, %v", st.String(), back, err)
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec State
+		if err := json.Unmarshal(b, &dec); err != nil || dec != st {
+			t.Errorf("JSON round trip of %v = %v, %v", st, dec, err)
+		}
+	}
+	if _, err := ParseState("exploded"); err == nil {
+		t.Error("ParseState accepted an unknown name")
+	}
+}
+
+func TestTerminalStatesHaveNoExits(t *testing.T) {
+	for st := range stateNames {
+		if st.Terminal() != (len(transitions[st]) == 0) {
+			t.Errorf("%v: Terminal()=%v but has %d exits", st, st.Terminal(), len(transitions[st]))
+		}
+	}
+}
+
+func TestTransitionEdges(t *testing.T) {
+	legal := []struct{ from, to State }{
+		{Queued, Admitted}, {Queued, Failed}, {Queued, Cancelled}, {Queued, Paused},
+		{Admitted, Running}, {Admitted, Failed}, {Admitted, Cancelled},
+		{Running, Completed}, {Running, Failed}, {Running, Cancelled}, {Running, Paused},
+		{Paused, Queued}, {Paused, Cancelled},
+	}
+	for _, e := range legal {
+		if !CanTransition(e.from, e.to) {
+			t.Errorf("edge %v → %v should be legal", e.from, e.to)
+		}
+	}
+	illegal := []struct{ from, to State }{
+		{Queued, Running}, {Queued, Completed},
+		{Admitted, Paused}, {Admitted, Queued},
+		{Running, Queued}, {Running, Admitted},
+		{Paused, Running}, {Paused, Completed},
+		{Completed, Queued}, {Failed, Queued}, {Cancelled, Queued},
+	}
+	for _, e := range illegal {
+		if CanTransition(e.from, e.to) {
+			t.Errorf("edge %v → %v should be illegal", e.from, e.to)
+		}
+	}
+}

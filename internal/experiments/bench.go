@@ -129,20 +129,25 @@ func benchMatrix(short bool) []benchScenario {
 // multi-rank in-process run of one (model, mode, grad-worker fraction)
 // combination.
 type distScenario struct {
-	name   string
-	mode   kfac.DistMode
-	frac   float64
-	model  string
-	blocks int
-	width  int
-	batch  int
-	world  int
-	steps  int
+	name      string
+	mode      kfac.DistMode
+	frac      float64
+	model     string
+	blocks    int
+	width     int
+	batch     int
+	world     int
+	steps     int
+	precision kfac.Precision
 }
 
-// distMatrix returns the {mode, gradWorkerFrac} scenario axis. The four
-// cells cover both endpoints of the memory/communication tradeoff and two
-// HYBRID interpolations; -short shrinks the model for the CI smoke job.
+// distMatrix returns the {mode, gradWorkerFrac} × precision scenario axis.
+// The four mode cells cover both endpoints of the memory/communication
+// tradeoff and two HYBRID interpolations, each measured at the f64
+// reference precision and on the float32 kernel path (_f32 cells: the
+// layers compute in float32 and K-FAC runs its narrowed kernels, so the
+// cells track the mixed-precision cost of the distribution machinery);
+// -short shrinks the model for the CI smoke job.
 func distMatrix(short bool) []distScenario {
 	model, blocks, width, batch, steps := "small", 1, 8, 8, 8
 	if short {
@@ -159,13 +164,15 @@ func distMatrix(short bool) []distScenario {
 		{"hybrid25", kfac.Hybrid, 0.25},
 		{"hybrid50", kfac.Hybrid, 0.5},
 	}
-	out := make([]distScenario, 0, len(cells))
-	for _, c := range cells {
-		out = append(out, distScenario{
-			name: c.name, mode: c.mode, frac: c.frac,
-			model: model, blocks: blocks, width: width, batch: batch,
-			world: world, steps: steps,
-		})
+	out := make([]distScenario, 0, 2*len(cells))
+	for _, prec := range []kfac.Precision{kfac.F64, kfac.F32} {
+		for _, c := range cells {
+			out = append(out, distScenario{
+				name: c.name, mode: c.mode, frac: c.frac,
+				model: model, blocks: blocks, width: width, batch: batch,
+				world: world, steps: steps, precision: prec,
+			})
+		}
 	}
 	return out
 }
@@ -180,9 +187,10 @@ func RunBenchJSON(ctx context.Context, outDir string, short bool, seed int64) ([
 }
 
 // RunBenchJSONFiltered is RunBenchJSON restricted to one precision slice of
-// the matrix: "f64" keeps the reference cells and the dist_* axis, "f32"
-// keeps only the mixed-precision cells, "both" (the RunBenchJSON default)
-// runs everything.
+// the matrix — both the single-process cells and the dist_* axis carry an
+// f64 and an f32 slice: "f64" keeps the reference cells, "f32" keeps only
+// the mixed-precision (_f32) cells, "both" (the RunBenchJSON default) runs
+// everything.
 func RunBenchJSONFiltered(ctx context.Context, outDir string, short bool, seed int64, precision string) ([]string, error) {
 	switch precision {
 	case "f64", "f32", "both":
@@ -222,12 +230,13 @@ func RunBenchJSONFiltered(ctx context.Context, outDir string, short bool, seed i
 			}
 		}
 	}
-	if precision == "f32" {
-		// The dist_* axis measures distribution machinery at the reference
-		// precision; it has no f32 slice.
-		return paths, nil
-	}
 	for _, sc := range distMatrix(short) {
+		if precision == "f64" && sc.precision != kfac.F64 {
+			continue
+		}
+		if precision == "f32" && sc.precision != kfac.F32 {
+			continue
+		}
 		res, err := runDistBenchScenario(ctx, sc, seed)
 		if err != nil {
 			return paths, fmt.Errorf("bench dist %s: %w", sc.name, err)
@@ -253,12 +262,16 @@ func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*Be
 	// fails their receives fast so wg.Wait always returns.
 	abortCtx, abort := context.WithCancel(context.Background())
 	defer abort()
+	scenario := fmt.Sprintf("dist_%s_w%d_%s", sc.model, sc.world, sc.name)
+	if sc.precision == kfac.F32 {
+		scenario += "_f32"
+	}
 	res := &BenchResult{
 		Schema:    BenchSchema,
-		Scenario:  fmt.Sprintf("dist_%s_w%d_%s", sc.model, sc.world, sc.name),
+		Scenario:  scenario,
 		Model:     sc.model,
 		Engine:    kfac.EngineSync.String(),
-		Precision: kfac.F64.String(),
+		Precision: sc.precision.String(),
 
 		World:                  sc.world,
 		PeakFactorBytesPerRank: make([]int64, sc.world),
@@ -286,10 +299,14 @@ func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*Be
 			rng := rand.New(rand.NewSource(seed))
 			net := models.BuildCIFARResNet(sc.blocks, sc.width, 3, 10, rng)
 			nn.SetBufferReuse(net, true)
+			if sc.precision == kfac.F32 {
+				nn.SetComputeF32(net, true)
+			}
 			c := comm.NewCommunicator(fab.Endpoint(r)).WithContext(abortCtx)
 			prec := kfac.NewFromOptions(net, c, kfac.Options{
 				FactorUpdateFreq: facFreq, InvUpdateFreq: invFreq, Damping: 1e-3,
 				DistMode: sc.mode, GradWorkerFrac: sc.frac,
+				Precision: sc.precision,
 			})
 			defer prec.Close()
 			if r == 0 {

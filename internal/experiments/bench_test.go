@@ -18,9 +18,10 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// tiny × {sync, pipelined} × {f64, f32} plus the four dist_* mode cells.
-	if len(paths) != 8 {
-		t.Fatalf("got %d result files, want 8", len(paths))
+	// tiny × {sync, pipelined} × {f64, f32} plus the four dist_* mode cells
+	// in both precisions.
+	if len(paths) != 12 {
+		t.Fatalf("got %d result files, want 12", len(paths))
 	}
 	distSeen, f32Seen := 0, 0
 	for _, p := range paths {
@@ -84,11 +85,11 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 			}
 		}
 	}
-	if distSeen != 4 {
-		t.Errorf("saw %d dist_* scenarios, want 4", distSeen)
+	if distSeen != 8 {
+		t.Errorf("saw %d dist_* scenarios, want 8 (4 modes × 2 precisions)", distSeen)
 	}
-	if f32Seen != 2 {
-		t.Errorf("saw %d f32 scenarios, want 2", f32Seen)
+	if f32Seen != 6 {
+		t.Errorf("saw %d f32 scenarios, want 6 (2 engines + 4 dist modes)", f32Seen)
 	}
 	// A round-trip through the typed struct must preserve the schema tag
 	// (catches accidental field renames).

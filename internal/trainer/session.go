@@ -40,6 +40,17 @@ type StepInfo struct {
 	Iteration int
 	// LR is the learning rate the step used.
 	LR float64
+	// Loss is this rank's training loss of the step, averaged over the
+	// step's accumulation group. It is local (not rank-averaged): hooks
+	// that need a cross-rank view must reduce it themselves, and any
+	// cross-rank decision derived from it must still satisfy the
+	// all-ranks-agree contract documented on the hook types.
+	Loss float64
+	// StepDuration is the wall time of the step on this rank:
+	// forward/backward over the accumulation group, gradient exchange,
+	// preconditioning, and the optimizer update — everything between two
+	// iteration boundaries except the hooks themselves.
+	StepDuration time.Duration
 }
 
 // CheckpointInfo describes a checkpoint boundary.
@@ -456,15 +467,18 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 			if cancelled, cerr := s.checkCancelled(ctx); cancelled || cerr != nil {
 				return res, cerr
 			}
+			stepStart := time.Now()
 			opt.ZeroGrad()
+			stepLoss := 0.0
 			for k := 0; k < accum; k++ {
 				b := batches[bi+k]
 				out := s.net.Forward(b.X, true)
 				loss, grad := ce.Loss(out, b.Labels)
-				lossSum += loss / float64(accum)
+				stepLoss += loss / float64(accum)
 				accSum += nn.Accuracy(out, b.Labels) / float64(accum)
 				s.net.Backward(grad)
 			}
+			lossSum += stepLoss
 			if accum > 1 {
 				inv := 1 / float64(accum)
 				for _, p := range params {
@@ -493,7 +507,8 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 			res.Iterations++
 			if len(s.stepHooks) > 0 {
 				stop, err := runHooks(s, s.stepHooks,
-					StepInfo{Epoch: epoch, Iteration: res.Iterations, LR: lr})
+					StepInfo{Epoch: epoch, Iteration: res.Iterations, LR: lr,
+						Loss: stepLoss, StepDuration: time.Since(stepStart)})
 				if err != nil {
 					return res, err
 				}

@@ -198,6 +198,75 @@ func TestSessionPreCancelledContext(t *testing.T) {
 	}
 }
 
+// StepInfo carries the per-step loss and wall time, so metrics consumers
+// (the kfacd daemon's stream) need no side channels. The loss must agree
+// with the epoch-level average the session already reports.
+func TestStepInfoCarriesLossAndDuration(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(7)))
+	var infos []StepInfo
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(), WithEpochs(1),
+		OnStep(func(s *Session, info StepInfo) error {
+			infos = append(infos, info)
+			return nil
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != res.Iterations {
+		t.Fatalf("observed %d steps, want %d", len(infos), res.Iterations)
+	}
+	var lossSum float64
+	for i, info := range infos {
+		if info.Loss <= 0 {
+			t.Errorf("step %d: loss %v, want > 0 on a fresh model", i, info.Loss)
+		}
+		if info.StepDuration <= 0 {
+			t.Errorf("step %d: duration %v, want > 0", i, info.StepDuration)
+		}
+		lossSum += info.Loss
+	}
+	// Single-process, accum=1: the epoch's TrainLoss is exactly the mean of
+	// the per-step losses.
+	want := res.History[0].TrainLoss
+	if got := lossSum / float64(len(infos)); got != want {
+		t.Errorf("mean per-step loss %v != epoch TrainLoss %v", got, want)
+	}
+}
+
+// With gradient accumulation the reported step loss is the group average,
+// keeping the epoch-mean identity intact.
+func TestStepInfoLossAveragesAccumGroup(t *testing.T) {
+	train, test := tinyDataset(t)
+	net := buildTestNet(rand.New(rand.NewSource(8)))
+	var lossSum float64
+	var steps int
+	s, err := NewSession(net, nil, train, test, append(sessionOpts(),
+		WithEpochs(1), WithBatchPerRank(8), WithAccumSteps(2),
+		OnStep(func(s *Session, info StepInfo) error {
+			lossSum += info.Loss
+			steps++
+			return nil
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != res.Iterations {
+		t.Fatalf("observed %d steps, want %d", steps, res.Iterations)
+	}
+	if got, want := lossSum/float64(steps), res.History[0].TrainLoss; got != want {
+		t.Errorf("mean per-step loss %v != epoch TrainLoss %v", got, want)
+	}
+}
+
 // Hooks of each kind run in registration order, and option-installed stock
 // hooks honor option position.
 func TestHookOrdering(t *testing.T) {
