@@ -78,6 +78,17 @@ Distribution plan (with -optimizer kfac; see docs/ARCHITECTURE.md):
   -group-size N                        hierarchical allreduce: N consecutive ranks
                                        per group for gradient/factor exchange (N ≥ 2)
 
+Compression & autotuning (with -optimizer kfac and -world > 1):
+  -compress {none,float16,topk}        lossy codec for gradient and factor payloads,
+                                       wrapped in error-feedback residual compensation
+  -topk-frac F                         kept-coordinate fraction of -compress topk
+                                       (0 < F ≤ 1, default 0.1)
+  -no-error-feedback                   send the bare biased stream (A/B experiments)
+  -autotune                            bandwidth-adaptive control: re-select codec,
+                                       fusion bytes, and group size each factor update
+                                       from a consensus link estimate
+  -autotune-interval N                 factor updates between decisions (default 1)
+
 Chaos injection (needs -world > 1):
   -chaos                  enable fault injection on the in-process fabric
   -chaos-seed N           schedule seed (same seed replays the same faults)
@@ -93,6 +104,8 @@ Examples:
   kfac-train -optimizer kfac -world 4 -dist-mode memopt
   kfac-train -optimizer kfac -world 8 -dist-mode hybrid -grad-worker-frac 0.25
   kfac-train -optimizer kfac -world 8 -group-size 4
+  kfac-train -optimizer kfac -world 4 -compress topk -topk-frac 0.05
+  kfac-train -optimizer kfac -world 4 -autotune -chaos -chaos-bandwidth 2e6
   kfac-train -world 4 -chaos -chaos-latency 500us -chaos-drop 0.05
 
 Tuning guidance (engine choice, staleness, fusion, distribution modes):
@@ -120,6 +133,12 @@ func main() {
 		width     = flag.Int("width", 8, "model width (ResNet stem channels)")
 		blocks    = flag.Int("blocks", 1, "residual blocks per stage")
 		seed      = flag.Int64("seed", 42, "random seed")
+
+		compress   = flag.String("compress", "none", "payload codec: none, float16, or topk (error-feedback compensated)")
+		topkFrac   = flag.Float64("topk-frac", 0.1, "kept-coordinate fraction for -compress topk (0 < F ≤ 1)")
+		noEF       = flag.Bool("no-error-feedback", false, "disable error-feedback compensation (biased stream, A/B only)")
+		autotune   = flag.Bool("autotune", false, "bandwidth-adaptive codec/fusion/group-size control")
+		tuneEveryN = flag.Int("autotune-interval", 1, "factor updates between autotune consensus decisions")
 
 		chaosOn   = flag.Bool("chaos", false, "inject transport faults (requires -world > 1)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "chaos schedule seed (same seed replays the same faults)")
@@ -155,6 +174,10 @@ func main() {
 		// typos, so reject the combination outright.
 		if *distMode != "auto" || *gradFrac != 0 || *groupSize != 0 {
 			fmt.Fprintln(os.Stderr, "-dist-mode/-grad-worker-frac/-group-size require -optimizer kfac")
+			os.Exit(2)
+		}
+		if *compress != "none" || *noEF || *autotune {
+			fmt.Fprintln(os.Stderr, "-compress/-no-error-feedback/-autotune require -optimizer kfac")
 			os.Exit(2)
 		}
 	}
@@ -218,6 +241,41 @@ func main() {
 			os.Exit(2)
 		}
 		kopts = append(kopts, kfac.WithPrecision(pr))
+		var codec comm.Codec
+		switch *compress {
+		case "none":
+		case "float16":
+			codec = comm.Float16Codec{}
+		case "topk":
+			if *topkFrac <= 0 || *topkFrac > 1 {
+				fmt.Fprintf(os.Stderr, "-topk-frac must be in (0, 1], got %v\n", *topkFrac)
+				os.Exit(2)
+			}
+			codec = comm.TopKCodec{FractionK: *topkFrac}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -compress %q (want none, float16, or topk)\n", *compress)
+			os.Exit(2)
+		}
+		if codec != nil {
+			if *noEF {
+				kopts = append(kopts, kfac.WithBareCompression(codec))
+			} else {
+				kopts = append(kopts, kfac.WithCompression(codec))
+			}
+		} else if *noEF {
+			if !*autotune {
+				fmt.Fprintln(os.Stderr, "-no-error-feedback requires -compress or -autotune")
+				os.Exit(2)
+			}
+			// Autotuned codecs honor the bare-stream knob too.
+			kopts = append(kopts, func(o *kfac.Options) { o.NoErrorFeedback = true })
+		}
+		if *autotune {
+			kopts = append(kopts, kfac.WithAutotune(kfac.AutotuneConfig{Interval: *tuneEveryN}))
+		} else if *tuneEveryN != 1 {
+			fmt.Fprintln(os.Stderr, "-autotune-interval requires -autotune")
+			os.Exit(2)
+		}
 		switch *engine {
 		case "pipelined":
 			kopts = append(kopts, kfac.WithEngine(kfac.EnginePipelined))
@@ -330,5 +388,17 @@ func printKFACProfile(res *trainer.Result) {
 		fmt.Printf("pipelined engine: update wall %v, overlapped %v, issuer idle %v over %d updates\n",
 			snap.PipelineWall.Round(r), res.KFACStats.Overlap().Round(r),
 			snap.PipelineIdle.Round(r), snap.PipelineUpdates)
+	}
+	for _, d := range snap.TuneDecisions {
+		if !d.Changed {
+			continue
+		}
+		codec := d.Codec
+		if codec == "" {
+			codec = "exact"
+		}
+		fmt.Printf("autotune: step %d → %s (codec %s, fusion %d B, groups %d) at %.1f MB/s, drop %.1f%%\n",
+			d.Step, d.Name, codec, d.FusionBytes, d.GroupSize,
+			d.BandwidthBps/1e6, d.DropRate*100)
 	}
 }

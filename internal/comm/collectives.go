@@ -60,6 +60,24 @@ func (c *Communicator) Rank() int { return c.t.Rank() }
 // Size returns the number of ranks.
 func (c *Communicator) Size() int { return c.t.Size() }
 
+// MetricsProvider is implemented by transports that keep per-endpoint
+// delivery counters (ChaosTransport does). The autotuner samples these to
+// estimate link health without caring which transport is underneath.
+type MetricsProvider interface {
+	// Metrics returns a snapshot of the endpoint's delivery counters.
+	Metrics() DeliveryMetrics
+}
+
+// TransportMetrics returns a snapshot of the underlying transport's
+// delivery counters, or ok=false when the transport does not keep any
+// (e.g. the plain in-process fabric).
+func (c *Communicator) TransportMetrics() (m DeliveryMetrics, ok bool) {
+	if p, isP := c.t.(MetricsProvider); isP {
+		return p.Metrics(), true
+	}
+	return DeliveryMetrics{}, false
+}
+
 // Close closes the underlying transport.
 func (c *Communicator) Close() error { return c.t.Close() }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Gradient compression codecs. The paper's conclusion names reducing
@@ -46,39 +47,65 @@ func (Float16Codec) Name() string { return "float16" }
 func (Float16Codec) CompressedLen(n int) int { return (n + 3) / 4 }
 
 // Encode implements Codec.
-func (Float16Codec) Encode(src []float64) []float64 {
-	out := make([]float64, (len(src)+3)/4)
+func (c Float16Codec) Encode(src []float64) []float64 {
+	return c.EncodeInto(make([]float64, (len(src)+3)/4), src)
+}
+
+// EncodeInto is Encode writing into a caller-supplied payload buffer of
+// length CompressedLen(len(src)) — the allocation-free path the
+// error-feedback fusion layer uses with pooled buffers. The buffer is fully
+// overwritten; the (possibly reused) contents need not be zeroed.
+func (Float16Codec) EncodeInto(dst, src []float64) []float64 {
+	dst = dst[:(len(src)+3)/4]
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i, v := range src {
 		h := uint64(float16FromFloat64(v))
 		word := i / 4
 		shift := uint(16 * (i % 4))
-		bits := math.Float64bits(out[word])
+		bits := math.Float64bits(dst[word])
 		bits |= h << shift
-		out[word] = math.Float64frombits(bits)
+		dst[word] = math.Float64frombits(bits)
 	}
-	return out
+	return dst
 }
 
 // Decode implements Codec.
-func (Float16Codec) Decode(payload []float64, n int) ([]float64, error) {
+func (c Float16Codec) Decode(payload []float64, n int) ([]float64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("comm: float16 decode with negative length %d", n)
 	}
+	// Check the bound before allocating n words — n is wire-controlled.
+	if n > 4*len(payload) {
+		return nil, fmt.Errorf("comm: float16 payload too short: %d words for n=%d", len(payload), n)
+	}
+	out := make([]float64, n)
+	if err := c.DecodeInto(out, payload); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto is Decode expanding into a caller-supplied buffer whose
+// length selects the output count (the allocation-free counterpart of
+// EncodeInto). Validation matches Decode.
+func (Float16Codec) DecodeInto(dst, payload []float64) error {
+	n := len(dst)
 	// Bound n by the payload before any arithmetic on it: n near MaxInt
 	// would wrap (n+3)/4 negative and defeat a ceil-division guard. This
 	// single comparison is the full check — n ≤ 4·len(payload) is exactly
 	// "the payload has a half-slot for every requested element".
 	if n > 4*len(payload) {
-		return nil, fmt.Errorf("comm: float16 payload too short: %d words for n=%d", len(payload), n)
+		return fmt.Errorf("comm: float16 payload too short: %d words for n=%d", len(payload), n)
 	}
-	out := make([]float64, n)
-	for i := range out {
+	for i := range dst {
 		word := i / 4
 		shift := uint(16 * (i % 4))
 		bits := math.Float64bits(payload[word])
-		out[i] = float16ToFloat64(uint16(bits >> shift))
+		dst[i] = float16ToFloat64(uint16(bits >> shift))
 	}
-	return out, nil
+	return nil
 }
 
 // float16FromFloat64 converts with round-to-nearest-even.
@@ -170,26 +197,74 @@ func (c TopKCodec) kFor(n int) int {
 // CompressedLen implements Codec.
 func (c TopKCodec) CompressedLen(n int) int { return 1 + 2*c.kFor(n) }
 
+// topkMagKey orders values for top-k selection. The raw bit pattern of
+// |v| is monotone in |v| for every non-negative float64, gives -0 and +0
+// the same rank, totals the order over NaN (which sorts above +Inf, so a
+// NaN entry is always "selected" and surfaces downstream instead of
+// flapping in and out of the payload), and — unlike a float compare —
+// never answers "unordered": two calls on permuted-but-equal inputs pick
+// the same entries. Error feedback turns any rank-divergent tie break
+// into a silent consensus break, so selection must be a pure function of
+// (value, index).
+func topkMagKey(v float64) uint64 {
+	return math.Float64bits(math.Abs(v))
+}
+
 // Encode implements Codec.
 func (c TopKCodec) Encode(src []float64) []float64 {
+	return c.EncodeInto(make([]float64, c.CompressedLen(len(src))), src)
+}
+
+// topkSorter sorts candidate indices by descending magnitude key with an
+// ascending-index tiebreak. A pooled pointer implementing sort.Interface
+// keeps EncodeInto allocation-free (sort.Slice would box both the slice
+// and the comparator on every call).
+type topkSorter struct {
+	idx []int
+	src []float64
+}
+
+func (s *topkSorter) Len() int      { return len(s.idx) }
+func (s *topkSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *topkSorter) Less(a, b int) bool {
+	ka, kb := topkMagKey(s.src[s.idx[a]]), topkMagKey(s.src[s.idx[b]])
+	if ka != kb {
+		return ka > kb
+	}
+	return s.idx[a] < s.idx[b]
+}
+
+var topkSorterPool = sync.Pool{New: func() any { return new(topkSorter) }}
+
+// EncodeInto is Encode writing into a caller-supplied payload buffer of
+// length CompressedLen(len(src)). Selection keeps the k largest |v|,
+// breaking magnitude ties by the LOWER index — a total order, so every
+// rank holding equal data emits an identical payload (required for
+// error-feedback consensus; see topkMagKey).
+func (c TopKCodec) EncodeInto(dst, src []float64) []float64 {
 	k := c.kFor(len(src))
-	idx := make([]int, len(src))
-	for i := range idx {
-		idx[i] = i
+	s := topkSorterPool.Get().(*topkSorter)
+	if cap(s.idx) < len(src) {
+		s.idx = make([]int, len(src))
+	}
+	s.idx = s.idx[:len(src)]
+	s.src = src
+	for i := range s.idx {
+		s.idx[i] = i
 	}
 	// Partial selection via full sort is O(n log n); fine at these sizes.
-	sort.Slice(idx, func(a, b int) bool {
-		return math.Abs(src[idx[a]]) > math.Abs(src[idx[b]])
-	})
-	out := make([]float64, 1+2*k)
-	out[0] = float64(k)
-	sel := idx[:k]
-	sort.Ints(sel) // deterministic order for reproducibility
+	sort.Sort(s)
+	dst = dst[:1+2*k]
+	dst[0] = float64(k)
+	sel := s.idx[:k]
+	sort.Ints(sel) // ascending index order for reproducibility
 	for i, j := range sel {
-		out[1+2*i] = float64(j)
-		out[2+2*i] = src[j]
+		dst[1+2*i] = float64(j)
+		dst[2+2*i] = src[j]
 	}
-	return out
+	s.src = nil
+	topkSorterPool.Put(s)
+	return dst
 }
 
 // Decode implements Codec.
@@ -202,8 +277,20 @@ func (c TopKCodec) Decode(payload []float64, n int) ([]float64, error) {
 		// this size is corrupt, not large.
 		return nil, fmt.Errorf("comm: top-k decode length %d too large", n)
 	}
+	out := make([]float64, n)
+	if err := c.DecodeInto(out, payload); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto is Decode expanding into a caller-supplied buffer whose
+// length selects the output count. The buffer is zeroed before the
+// sparse entries are scattered in; validation matches Decode.
+func (c TopKCodec) DecodeInto(dst, payload []float64) error {
+	n := len(dst)
 	if len(payload) < 1 {
-		return nil, fmt.Errorf("comm: empty top-k payload")
+		return fmt.Errorf("comm: empty top-k payload")
 	}
 	// The count word is attacker-controlled on a real wire: reject anything
 	// that is not an exact non-negative integer small enough for the
@@ -211,18 +298,57 @@ func (c TopKCodec) Decode(payload []float64, n int) ([]float64, error) {
 	// turn the bound check into an out-of-range read).
 	kf := payload[0]
 	if math.IsNaN(kf) || kf != math.Trunc(kf) || kf < 0 || kf > float64((len(payload)-1)/2) {
-		return nil, fmt.Errorf("comm: top-k payload has invalid count %v for %d words", kf, len(payload))
+		return fmt.Errorf("comm: top-k payload has invalid count %v for %d words", kf, len(payload))
 	}
 	k := int(kf)
-	out := make([]float64, n)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < k; i++ {
 		jf := payload[1+2*i]
 		if math.IsNaN(jf) || jf != math.Trunc(jf) || jf < 0 || jf >= float64(n) {
-			return nil, fmt.Errorf("comm: top-k index %v out of range %d", jf, n)
+			return fmt.Errorf("comm: top-k index %v out of range %d", jf, n)
 		}
-		out[int(jf)] = payload[2+2*i]
+		dst[int(jf)] = payload[2+2*i]
 	}
-	return out, nil
+	return nil
+}
+
+// codecEncoderInto / codecDecoderInto are the optional allocation-free
+// codec extensions; the fusion path uses them when available and falls
+// back to Encode/Decode (plus a copy) for third-party codecs.
+type codecEncoderInto interface {
+	EncodeInto(dst, src []float64) []float64
+}
+
+type codecDecoderInto interface {
+	DecodeInto(dst, payload []float64) error
+}
+
+// encodeInto compresses src into dst (length CompressedLen(len(src)))
+// without allocating when the codec supports it.
+func encodeInto(c Codec, dst, src []float64) []float64 {
+	if e, ok := c.(codecEncoderInto); ok {
+		return e.EncodeInto(dst, src)
+	}
+	out := c.Encode(src)
+	dst = dst[:len(out)]
+	copy(dst, out)
+	return dst
+}
+
+// decodeInto expands payload into dst (whose length selects the output
+// count) without allocating when the codec supports it.
+func decodeInto(c Codec, dst, payload []float64) error {
+	if d, ok := c.(codecDecoderInto); ok {
+		return d.DecodeInto(dst, payload)
+	}
+	out, err := c.Decode(payload, len(dst))
+	if err != nil {
+		return err
+	}
+	copy(dst, out)
+	return nil
 }
 
 // CompressedAllreduceMean averages data across ranks through the codec:

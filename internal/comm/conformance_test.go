@@ -56,6 +56,7 @@ type confOut struct {
 	asyncSum           []float64
 	asyncGather        [][]float64
 	fused              [][]float64
+	efFused            [][]float64
 }
 
 // confScript runs the identical collective program on one rank. Every rank
@@ -180,6 +181,27 @@ func confScript(t *testing.T, c *Communicator, seed int64) *confOut {
 		t.Errorf("rank %d async allgather: %v", r, err)
 		return o
 	}
+
+	// Fused exchange through error-feedback compression: float16 is exact
+	// on the small-integer inputs, so residuals stay zero and the result
+	// must equal the rank-order accumulated mean. This exercises the
+	// compressed chunk path (payload allgather + decode + residual update)
+	// under the same chaos as every other collective.
+	ef := NewErrorFeedback(Float16Codec{})
+	efFu := NewFuser(c, 8*10)
+	efFu.SetErrorFeedback(ef)
+	efTensors := make([]*tensor.Tensor, 3)
+	for i := range efTensors {
+		efTensors[i] = tensor.FromSlice(confVec(7, r, seed+16+int64(i)), 7)
+		efFu.Add(efTensors[i])
+	}
+	if err := efFu.Flush(); err != nil {
+		t.Errorf("rank %d EF fused flush: %v", r, err)
+		return o
+	}
+	for _, ten := range efTensors {
+		o.efFused = append(o.efFused, ten.Data)
+	}
 	return o
 }
 
@@ -205,6 +227,20 @@ func confReferenceMean(n, p int, seed int64) []float64 {
 	inv := 1 / float64(p)
 	for i := range out {
 		out[i] *= inv
+	}
+	return out
+}
+
+// confCompressedMean replicates the compressed-mean arithmetic of both
+// CompressedAllreduceMean and the compressed fused chunk path: decoded
+// blocks accumulated with v·1/p in rank order, exact on small integers.
+func confCompressedMean(n, p int, seed int64) []float64 {
+	out := make([]float64, n)
+	inv := 1 / float64(p)
+	for r := 0; r < p; r++ {
+		for i, v := range confVec(n, r, seed) {
+			out[i] += v * inv
+		}
 	}
 	return out
 }
@@ -237,13 +273,7 @@ func runConformance(t *testing.T, p int, seed int64, cfg ChaosConfig) {
 
 	// CompressedAllreduceMean accumulates dec(block_r)·1/p in rank order;
 	// small integers are exact in float16, so dec(block_r) = input_r.
-	wantComp := make([]float64, n)
-	inv := 1 / float64(p)
-	for r := 0; r < p; r++ {
-		for i, v := range confVec(n, r, seed+10) {
-			wantComp[i] += v * inv
-		}
-	}
+	wantComp := confCompressedMean(n, p, seed+10)
 
 	for r := 0; r < p; r++ {
 		o := outs[r]
@@ -271,6 +301,7 @@ func runConformance(t *testing.T, p int, seed int64, cfg ChaosConfig) {
 		checkEqual(t, "AllreduceSumAsync", r, o.asyncSum, wantAsync)
 		for i := 0; i < 3; i++ {
 			checkEqual(t, fmt.Sprintf("Fused[%d]", i), r, o.fused[i], confReferenceMean(7, p, seed+13+int64(i)))
+			checkEqual(t, fmt.Sprintf("EFFused[%d]", i), r, o.efFused[i], confCompressedMean(7, p, seed+16+int64(i)))
 		}
 	}
 }
@@ -300,6 +331,103 @@ func TestSPMDConformanceUnderChaos(t *testing.T) {
 				})
 			})
 		}
+	}
+}
+
+// TestConsensusCodecSwitchBoundary pins the autotuner's core protocol at
+// the comm layer: each rank feeds a locally nondeterministic signal (the
+// measured wall-clock cost of its own previous exchange) into a tiny
+// consensus allreduce, thresholds the agreed value, and switches its
+// error-feedback codec when the threshold trips. Because every input to
+// the decision is a consensus output, the switch must land on the same
+// iteration on every rank — under chaos latency and retried drops — and
+// the exchanged tensors must stay bit-identical across ranks throughout,
+// including the iterations after the mid-run switch to a sparsifying
+// codec.
+func TestConsensusCodecSwitchBoundary(t *testing.T) {
+	worlds := []int{2, 3, 5}
+	if testenv.Short() {
+		worlds = []int{2, 3}
+	}
+	for _, p := range worlds {
+		t.Run(fmt.Sprintf("world=%d", p), func(t *testing.T) {
+			t.Parallel()
+			const n = 24
+			const iters = 20
+			fab := NewChaosFabric(NewInprocFabric(p), p, ChaosConfig{
+				Seed:         int64(p),
+				MinLatency:   5 * time.Microsecond,
+				MaxLatency:   100 * time.Microsecond,
+				DropRate:     0.05,
+				MaxRetries:   25,
+				RetryBackoff: 5 * time.Microsecond,
+			})
+			type rankOut struct {
+				switchIter int
+				results    [][]float64
+			}
+			outs := make([]*rankOut, p)
+			var wg sync.WaitGroup
+			for r := 0; r < p; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					c := NewCommunicator(fab.Endpoint(r))
+					ef := NewErrorFeedback(nil) // exact until the consensus trips
+					ro := &rankOut{switchIter: -1}
+					outs[r] = ro
+					var cum, threshold float64
+					for it := 0; it < iters; it++ {
+						start := time.Now()
+						fu := NewFuser(c, 1) // one chunk per tensor
+						fu.SetErrorFeedback(ef)
+						ten := tensor.FromSlice(confVec(n, r, int64(it)), n)
+						fu.Add(ten)
+						if err := fu.Flush(); err != nil {
+							t.Errorf("rank %d iter %d flush: %v", r, it, err)
+							return
+						}
+						ro.results = append(ro.results, append([]float64(nil), ten.Data...))
+						// Local measurement — genuinely different on every
+						// rank and every run — then consensus.
+						sig := []float64{float64(time.Since(start).Nanoseconds())}
+						if err := c.AllreduceMean(sig); err != nil {
+							t.Errorf("rank %d iter %d consensus: %v", r, it, err)
+							return
+						}
+						cum += sig[0]
+						if it == 0 {
+							threshold = 2 * cum
+						}
+						// Deterministic fallback a few iterations before the
+						// end keeps the test flake-free if the first exchange
+						// dwarfed all later ones; the trigger is still the
+						// consensus value in the common case.
+						if ro.switchIter < 0 && it > 0 && (cum > threshold || it == iters-4) {
+							ef.SetCodec(TopKCodec{FractionK: 0.5})
+							ro.switchIter = it + 1 // effective from the next exchange
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for r := 1; r < p; r++ {
+				if outs[r].switchIter != outs[0].switchIter {
+					t.Errorf("rank %d switched at iter %d, rank 0 at %d", r, outs[r].switchIter, outs[0].switchIter)
+				}
+			}
+			if outs[0].switchIter < 1 || outs[0].switchIter >= iters {
+				t.Errorf("switch iteration %d outside (0, %d)", outs[0].switchIter, iters)
+			}
+			for r := 1; r < p; r++ {
+				for it := range outs[0].results {
+					checkEqual(t, fmt.Sprintf("switched exchange iter=%d", it), r, outs[r].results[it], outs[0].results[it])
+				}
+			}
+		})
 	}
 }
 

@@ -15,8 +15,19 @@ const DefaultFusionBytes = 16 << 20
 // it was packed from. Wait blocks for the collective and scatters the
 // averaged values back into the original tensors exactly once; it is safe
 // to call from multiple goroutines.
+//
+// A compressed chunk (codec != nil) rides an allgather of encoded payloads
+// instead of a ring allreduce: Wait decodes every rank's block and averages
+// them in rank order — the same deterministic arithmetic as
+// CompressedAllreduceMean, so results are bit-identical across ranks. When
+// the chunk carries an error-feedback residual slot, Wait also stores the
+// part of this rank's compensated contribution that the codec discarded.
 type Chunk struct {
 	h       *Handle
+	gh      *GatherHandle // compressed path (nil for exact chunks)
+	codec   Codec         // captured at launch; immune to later SetCodec
+	res     []float64     // error-feedback residual slot (nil = bare codec)
+	payload []float64     // pooled encoded payload, recycled by Wait
 	buf     []float64
 	tensors []*tensor.Tensor
 	once    sync.Once
@@ -31,8 +42,12 @@ func (ch *Chunk) Tensors() []*tensor.Tensor { return ch.tensors }
 // On success the packed buffer is recycled into the fusion buffer pool.
 func (ch *Chunk) Wait() error {
 	ch.once.Do(func() {
-		if err := ch.h.Wait(); err != nil {
-			ch.err = err
+		if ch.gh != nil {
+			ch.err = ch.waitCompressed()
+		} else {
+			ch.err = ch.h.Wait()
+		}
+		if ch.err != nil {
 			return
 		}
 		off := 0
@@ -44,6 +59,46 @@ func (ch *Chunk) Wait() error {
 		ch.buf = nil
 	})
 	return ch.err
+}
+
+// waitCompressed completes a compressed chunk: wait for the allgather,
+// update the error-feedback residual from this rank's own payload, then
+// average the decoded blocks in rank order into ch.buf.
+func (ch *Chunk) waitCompressed() error {
+	blocks, err := ch.gh.Wait()
+	if err != nil {
+		return err
+	}
+	n := len(ch.buf)
+	dec := getBuf(n)
+	defer putBuf(dec)
+	if ch.res != nil {
+		// ch.buf still holds the compensated vector x+r; the payload sent was
+		// enc(x+r), so the new residual is (x+r) − dec(enc(x+r)). Decoding the
+		// local payload keeps the arithmetic identical to what every peer
+		// attributes to this rank.
+		if err := decodeInto(ch.codec, dec, ch.payload); err != nil {
+			return err
+		}
+		for i := range ch.res {
+			ch.res[i] = ch.buf[i] - dec[i]
+		}
+	}
+	inv := 1 / float64(len(blocks))
+	for i := range ch.buf {
+		ch.buf[i] = 0
+	}
+	for _, b := range blocks {
+		if err := decodeInto(ch.codec, dec, b); err != nil {
+			return err
+		}
+		for i, v := range dec {
+			ch.buf[i] += v * inv
+		}
+	}
+	putBuf(ch.payload)
+	ch.payload = nil
+	return nil
 }
 
 // Fuser batches small tensors into large allreduce payloads, imitating
@@ -60,6 +115,9 @@ type Fuser struct {
 	comm      *Communicator
 	limit     int // bytes
 	groupSize int // ≥2 routes chunks through the hierarchical allreduce
+	bare      Codec
+	ef        *ErrorFeedback
+	ordinal   int // chunk ordinal within this fuser's schedule (EF slot key)
 	pending   []*tensor.Tensor
 	pendingSz int // bytes
 	launched  []*Chunk
@@ -83,6 +141,25 @@ func NewFuser(comm *Communicator, limitBytes int) *Fuser {
 // it should affect; chunk boundaries are unaffected, so the collective
 // schedule stays deterministic.
 func (f *Fuser) SetGroupSize(n int) { f.groupSize = n }
+
+// SetCodec compresses every subsequently launched chunk with c, WITHOUT
+// error feedback — the biased estimator, kept for A/B experiments (the
+// convergence-safety suite demonstrates it diverging under Top-K). Pass
+// nil to return to exact transmission. Same SPMD rules as SetGroupSize:
+// identical on every rank, set before the first Add it should affect.
+// Compression takes precedence over the hierarchical route (compressed
+// chunks ride a flat allgather of encoded payloads).
+func (f *Fuser) SetCodec(c Codec) { f.bare = c }
+
+// SetErrorFeedback routes every subsequently launched chunk through ef:
+// the chunk is compensated with ef's residual for its ordinal before
+// encoding with ef.Codec(), and the residual is updated after decode. The
+// accumulator outlives the fuser — recreating a fuser each round with an
+// identical Add sequence reuses the same residual slots, which is exactly
+// how the trainer and both K-FAC engines persist error feedback across
+// steps. A nil ef (or ef with a nil codec) transmits exact. Overrides
+// SetCodec.
+func (f *Fuser) SetErrorFeedback(ef *ErrorFeedback) { f.ef = ef }
 
 // Add enqueues t for averaging. When the pending set reaches the fusion
 // threshold, an asynchronous fused allreduce is launched. A single tensor
@@ -112,6 +189,34 @@ func (f *Fuser) launch() {
 		copy(buf[off:], t.Data)
 		off += t.Len()
 	}
+	codec := f.bare
+	if f.ef != nil {
+		codec = f.ef.Codec()
+	}
+	if codec != nil && total > 0 {
+		// Compressed path: compensate (error feedback only), encode into a
+		// pooled payload, allgather the payloads. Decode/average and the
+		// residual update happen in Chunk.Wait. The residual slot is claimed
+		// here, on the launching goroutine, so concurrent chunk waiters never
+		// touch the accumulator's slot table.
+		var res []float64
+		if f.ef != nil {
+			res = f.ef.slot(f.ordinal, total)
+			for i, r := range res {
+				buf[i] += r
+			}
+		}
+		payload := encodeInto(codec, getBuf(codec.CompressedLen(total)), buf)
+		gh := f.comm.AllgatherVAsync(payload)
+		f.launched = append(f.launched, &Chunk{
+			gh: gh, codec: codec, res: res, payload: payload,
+			buf: buf, tensors: f.pending,
+		})
+		f.pending = nil
+		f.pendingSz = 0
+		f.ordinal++
+		return
+	}
 	h := completedHandle()
 	if total > 0 {
 		// Zero-element chunks (all-empty tensors) need no wire traffic; every
@@ -125,6 +230,7 @@ func (f *Fuser) launch() {
 	f.launched = append(f.launched, &Chunk{h: h, buf: buf, tensors: f.pending})
 	f.pending = nil
 	f.pendingSz = 0
+	f.ordinal++
 }
 
 // TakeLaunched returns the chunks launched since the previous call (or

@@ -38,6 +38,20 @@ func TestValidateCatchesInconsistentSpecs(t *testing.T) {
 			s.KFAC = &KFACSpec{DistMode: "memopt", GradWorkerFrac: 0.5}
 		}},
 		{"bad precision", func(s *JobSpec) { s.KFAC = &KFACSpec{Precision: "fp16"} }},
+		{"unknown compression", func(s *JobSpec) { s.KFAC = &KFACSpec{Compression: "qsgd"} }},
+		{"topk without fraction", func(s *JobSpec) { s.KFAC = &KFACSpec{Compression: "topk"} }},
+		{"topk fraction above 1", func(s *JobSpec) {
+			s.KFAC = &KFACSpec{Compression: "topk", TopKFraction: 1.5}
+		}},
+		{"fraction without topk", func(s *JobSpec) {
+			s.KFAC = &KFACSpec{Compression: "float16", TopKFraction: 0.1}
+		}},
+		{"no_error_feedback without codec", func(s *JobSpec) {
+			s.KFAC = &KFACSpec{NoErrorFeedback: true}
+		}},
+		{"autotune_interval without autotune", func(s *JobSpec) {
+			s.KFAC = &KFACSpec{AutotuneInterval: 2}
+		}},
 		{"chaos rank outside world", func(s *JobSpec) {
 			s.Chaos = &ChaosSpec{KillRank: 2, KillAtEpoch: 0}
 		}},
@@ -55,6 +69,32 @@ func TestValidateCatchesInconsistentSpecs(t *testing.T) {
 	}
 	if err := tinySpec().Validate(); err != nil {
 		t.Fatalf("baseline spec rejected: %v", err)
+	}
+}
+
+// TestKFACSpecCompressionResolves pins the wire-name → Options mapping of
+// the compression and autotune knobs.
+func TestKFACSpecCompressionResolves(t *testing.T) {
+	o, err := KFACSpec{Compression: "topk", TopKFraction: 0.1, Autotune: true, AutotuneInterval: 3}.options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Compression == nil || o.Compression.Name() != "topk" {
+		t.Errorf("topk spec resolved to codec %v", o.Compression)
+	}
+	if o.Autotune == nil || o.Autotune.Interval != 3 {
+		t.Errorf("autotune spec resolved to %+v", o.Autotune)
+	}
+	o, err = KFACSpec{Compression: "float16", NoErrorFeedback: true}.options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Compression == nil || o.Compression.Name() != "float16" || !o.NoErrorFeedback {
+		t.Errorf("float16 bare spec resolved to %v / NoEF=%v", o.Compression, o.NoErrorFeedback)
+	}
+	o, err = KFACSpec{}.options()
+	if err != nil || o.Compression != nil || o.Autotune != nil {
+		t.Errorf("empty spec resolved to %v %+v (err %v)", o.Compression, o.Autotune, err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/kfac"
 	"repro/internal/models"
@@ -167,6 +168,44 @@ type KFACSpec struct {
 	InvUpdateFreq int `json:"inv_update_freq,omitempty"`
 	// Precision is "f64" (default) or "f32".
 	Precision string `json:"precision,omitempty"`
+	// Compression selects the payload codec for factor and gradient
+	// exchanges: "none" (default), "float16", or "topk".
+	Compression string `json:"compression,omitempty"`
+	// TopKFraction is the kept-coordinate fraction of the "topk" codec
+	// (0 < f ≤ 1; required iff Compression is "topk").
+	TopKFraction float64 `json:"topk_fraction,omitempty"`
+	// NoErrorFeedback disables residual compensation — the biased
+	// estimator, exposed for A/B experiments only.
+	NoErrorFeedback bool `json:"no_error_feedback,omitempty"`
+	// Autotune enables the bandwidth-adaptive controller (overrides the
+	// static compression fields from its first consensus decision on).
+	Autotune bool `json:"autotune,omitempty"`
+	// AutotuneInterval is the number of factor updates between consensus
+	// decisions (0 = every factor update; requires Autotune).
+	AutotuneInterval int `json:"autotune_interval,omitempty"`
+}
+
+// codec resolves the compression fields to a comm.Codec (nil = exact).
+func (k KFACSpec) codec() (comm.Codec, error) {
+	switch strings.ToLower(k.Compression) {
+	case "", "none":
+		if k.TopKFraction != 0 {
+			return nil, fmt.Errorf("ctl: topk_fraction requires compression \"topk\"")
+		}
+		return nil, nil
+	case "float16":
+		if k.TopKFraction != 0 {
+			return nil, fmt.Errorf("ctl: topk_fraction requires compression \"topk\"")
+		}
+		return comm.Float16Codec{}, nil
+	case "topk":
+		if k.TopKFraction <= 0 || k.TopKFraction > 1 {
+			return nil, fmt.Errorf("ctl: compression topk needs topk_fraction in (0, 1], got %v",
+				k.TopKFraction)
+		}
+		return comm.TopKCodec{FractionK: k.TopKFraction}, nil
+	}
+	return nil, fmt.Errorf("ctl: unknown compression %q (want none, float16, or topk)", k.Compression)
 }
 
 // distMode resolves the wire name to the kfac enum.
@@ -202,14 +241,33 @@ func (k KFACSpec) options() (kfac.Options, error) {
 	if err != nil {
 		return kfac.Options{}, fmt.Errorf("ctl: %w", err)
 	}
-	return kfac.Options{
+	codec, err := k.codec()
+	if err != nil {
+		return kfac.Options{}, err
+	}
+	if k.NoErrorFeedback && codec == nil && !k.Autotune {
+		return kfac.Options{}, fmt.Errorf("ctl: no_error_feedback requires a compression codec or autotune")
+	}
+	if k.AutotuneInterval != 0 && !k.Autotune {
+		return kfac.Options{}, fmt.Errorf("ctl: autotune_interval requires autotune")
+	}
+	if k.AutotuneInterval < 0 {
+		return kfac.Options{}, fmt.Errorf("ctl: autotune_interval must be ≥ 0, got %d", k.AutotuneInterval)
+	}
+	opts := kfac.Options{
 		DistMode:         mode,
 		GradWorkerFrac:   k.GradWorkerFrac,
 		Damping:          k.Damping,
 		FactorUpdateFreq: k.FactorUpdateFreq,
 		InvUpdateFreq:    k.InvUpdateFreq,
 		Precision:        prec,
-	}, nil
+		Compression:      codec,
+		NoErrorFeedback:  k.NoErrorFeedback,
+	}
+	if k.Autotune {
+		opts.Autotune = &kfac.AutotuneConfig{Interval: k.AutotuneInterval}
+	}
+	return opts, nil
 }
 
 // ChaosSpec scripts fault injection into a job's first generation — the

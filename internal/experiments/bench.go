@@ -139,6 +139,11 @@ type distScenario struct {
 	world     int
 	steps     int
 	precision kfac.Precision
+	// autotune enables the bandwidth-adaptive controller; on the bench's
+	// clean in-process fabric it stays at the exact level, so the cell
+	// measures pure controller overhead (one consensus allreduce per
+	// factor update) against its _-less static twin via benchdiff -suffix.
+	autotune bool
 }
 
 // distMatrix returns the {mode, gradWorkerFrac} × precision scenario axis.
@@ -164,7 +169,7 @@ func distMatrix(short bool) []distScenario {
 		{"hybrid25", kfac.Hybrid, 0.25},
 		{"hybrid50", kfac.Hybrid, 0.5},
 	}
-	out := make([]distScenario, 0, 2*len(cells))
+	out := make([]distScenario, 0, 2*len(cells)+1)
 	for _, prec := range []kfac.Precision{kfac.F64, kfac.F32} {
 		for _, c := range cells {
 			out = append(out, distScenario{
@@ -174,6 +179,14 @@ func distMatrix(short bool) []distScenario {
 			})
 		}
 	}
+	// The autotune twin of the f64 COMM-OPT cell:
+	// `benchdiff -suffix _autotune` rekeys it onto dist_<model>_w4_commopt
+	// and reports the controller's step-time overhead as the delta.
+	out = append(out, distScenario{
+		name: "commopt_autotune", mode: kfac.CommOpt,
+		model: model, blocks: blocks, width: width, batch: batch,
+		world: world, steps: steps, precision: kfac.F64, autotune: true,
+	})
 	return out
 }
 
@@ -303,11 +316,15 @@ func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*Be
 				nn.SetComputeF32(net, true)
 			}
 			c := comm.NewCommunicator(fab.Endpoint(r)).WithContext(abortCtx)
-			prec := kfac.NewFromOptions(net, c, kfac.Options{
+			opts := kfac.Options{
 				FactorUpdateFreq: facFreq, InvUpdateFreq: invFreq, Damping: 1e-3,
 				DistMode: sc.mode, GradWorkerFrac: sc.frac,
 				Precision: sc.precision,
-			})
+			}
+			if sc.autotune {
+				opts.Autotune = &kfac.AutotuneConfig{}
+			}
+			prec := kfac.NewFromOptions(net, c, opts)
 			defer prec.Close()
 			if r == 0 {
 				plan := prec.Plan()

@@ -19,9 +19,9 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	// tiny × {sync, pipelined} × {f64, f32} plus the four dist_* mode cells
-	// in both precisions.
-	if len(paths) != 12 {
-		t.Fatalf("got %d result files, want 12", len(paths))
+	// in both precisions plus the autotune twin of the f64 COMM-OPT cell.
+	if len(paths) != 13 {
+		t.Fatalf("got %d result files, want 13", len(paths))
 	}
 	distSeen, f32Seen := 0, 0
 	for _, p := range paths {
@@ -85,8 +85,17 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 			}
 		}
 	}
-	if distSeen != 8 {
-		t.Errorf("saw %d dist_* scenarios, want 8 (4 modes × 2 precisions)", distSeen)
+	if distSeen != 9 {
+		t.Errorf("saw %d dist_* scenarios, want 9 (4 modes × 2 precisions + autotune twin)", distSeen)
+	}
+	autotuneSeen := false
+	for _, p := range paths {
+		if filepath.Base(p) == "BENCH_dist_tiny_w4_commopt_autotune.json" {
+			autotuneSeen = true
+		}
+	}
+	if !autotuneSeen {
+		t.Error("autotune bench cell missing from the short matrix")
 	}
 	if f32Seen != 6 {
 		t.Errorf("saw %d f32 scenarios, want 6 (2 engines + 4 dist modes)", f32Seen)

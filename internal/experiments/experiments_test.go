@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"ablation-placement", "ablation-fusion", "ablation-clip", "ablation-damping",
 		"ablation-updatefreq", "profile", "pipeline", "memory", "ablation-compression",
-		"chaos",
+		"chaos", "autotune",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -136,5 +136,29 @@ func TestChaosExperimentQuick(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "pipelined ms/step") || !strings.Contains(out, "identical losses") {
 		t.Errorf("unexpected chaos experiment output:\n%s", out)
+	}
+}
+
+// TestAutotuneExperimentQuick smoke-runs the bandwidth-degradation curve:
+// the tuned column must never degrade past the static one (the experiment
+// errors internally otherwise) and the capped row must land on a
+// compressed level.
+func TestAutotuneExperimentQuick(t *testing.T) {
+	if testenv.Short() {
+		t.Skip("autotune experiment trains networks; skipped in reduced-iteration mode")
+	}
+	e, _ := ByID("autotune")
+	var buf bytes.Buffer
+	if err := e.Run(context.Background(), &buf, Config{Quick: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tuned ms/step") || !strings.Contains(out, "shape check") {
+		t.Errorf("unexpected autotune experiment output:\n%s", out)
+	}
+	// The 2 MB/s row sits below the float16 band edge (4 MB/s), so the
+	// final decision must name a compressed level.
+	if !strings.Contains(out, "float16") && !strings.Contains(out, "topk10") {
+		t.Errorf("capped row did not land on a compressed level:\n%s", out)
 	}
 }

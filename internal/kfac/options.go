@@ -1,5 +1,7 @@
 package kfac
 
+import "repro/internal/comm"
+
 // Option configures a preconditioner at construction:
 //
 //	prec := kfac.New(net, c,
@@ -104,3 +106,38 @@ func WithEngine(e Engine) Option { return func(o *Options) { o.Engine = e } }
 // WithPipelineWorkers bounds the pipelined engine's compute pool
 // (default 0 = GOMAXPROCS). Ignored by EngineSync.
 func WithPipelineWorkers(n int) Option { return func(o *Options) { o.PipelineWorkers = n } }
+
+// WithCompression applies a lossy codec to the factor allreduce and the
+// trainer's gradient exchange, wrapped in error-feedback residual
+// accumulation: each rank compensates its payload with the error its
+// codec previously discarded, keeping sparsifiers like comm.TopKCodec
+// convergence-safe (the compensated stream telescopes — see
+// comm.ErrorFeedback). Must be identical on every rank. nil restores
+// exact transmission.
+func WithCompression(c comm.Codec) Option {
+	return func(o *Options) {
+		o.Compression = c
+		o.NoErrorFeedback = false
+	}
+}
+
+// WithBareCompression applies the codec WITHOUT error feedback — the
+// biased estimator. Kept for A/B experiments: the convergence-safety
+// suite uses it to demonstrate bare Top-K stalling where the compensated
+// form tracks the uncompressed loss.
+func WithBareCompression(c comm.Codec) Option {
+	return func(o *Options) {
+		o.Compression = c
+		o.NoErrorFeedback = true
+	}
+}
+
+// WithAutotune enables the bandwidth-adaptive controller: at factor-update
+// boundaries the ranks agree on a (bandwidth, drop-rate) estimate through
+// a consensus allreduce and re-select {codec, FusionBytes, GroupSize} from
+// the policy table, overriding the static options from the first decision
+// on. The zero AutotuneConfig selects DefaultTunePolicy deciding at every
+// factor update. Decisions land in StageStats.TuneDecisions.
+func WithAutotune(cfg AutotuneConfig) Option {
+	return func(o *Options) { o.Autotune = &cfg }
+}

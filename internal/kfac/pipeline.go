@@ -374,8 +374,7 @@ func (r *pipelineRun) decomposeLayer(i int, s *layerState) error {
 func (r *pipelineRun) runIssuer() error {
 	p := r.p
 	if r.doFactors {
-		fu := comm.NewFuser(p.comm, p.opts.FusionBytes)
-		fu.SetGroupSize(p.opts.GroupSize)
+		fu := p.factorFuser()
 		layerOf := make(map[*tensor.Tensor]int, 2*len(p.states))
 		remaining := make([]atomic.Int32, len(p.states))
 		for i, s := range p.states {

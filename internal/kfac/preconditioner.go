@@ -94,6 +94,22 @@ type Options struct {
 	// communication, and checkpoints stay float64 regardless (see
 	// precision.go).
 	Precision Precision
+	// Compression applies a lossy codec to the factor allreduce and the
+	// trainer's gradient exchange (nil = exact), wrapped in error-feedback
+	// residual accumulation unless NoErrorFeedback is set. Must be
+	// identical on every rank. SymEigInto symmetrizes its input, so
+	// sparsified factor averages stay safe to decompose.
+	Compression comm.Codec
+	// NoErrorFeedback strips the residual accumulator from Compression —
+	// the biased estimator, kept so the convergence-safety suite can
+	// demonstrate why error feedback is not optional for sparsifiers.
+	NoErrorFeedback bool
+	// Autotune, when non-nil, enables the bandwidth-adaptive controller:
+	// codec/FusionBytes/GroupSize are re-selected from the policy table at
+	// factor-update boundaries via a consensus collective, overriding the
+	// static Compression/FusionBytes/GroupSize fields from the first
+	// decision on. See autotune.go.
+	Autotune *AutotuneConfig
 }
 
 func (o *Options) fillDefaults() {
@@ -170,6 +186,11 @@ type Preconditioner struct {
 	stats  StageStats
 	pool   *sched.Pool // lazily created by the pipelined engine
 
+	// factorEF persists factor-path compression residuals across steps;
+	// tuner is the autotune controller state (nil when disabled).
+	factorEF *comm.ErrorFeedback
+	tuner    *tuner
+
 	// Reused per-step slices and dispatch record for the precondition
 	// phase.
 	gradsBuf, precondsBuf []*tensor.Tensor
@@ -194,7 +215,10 @@ func NewFromOptions(model nn.Layer, c *comm.Communicator, opts Options) *Precond
 		skip[n] = true
 	}
 	layers := nn.CapturableLayers(model)
-	p := &Preconditioner{comm: c, opts: opts}
+	p := &Preconditioner{comm: c, opts: opts, factorEF: comm.NewErrorFeedback(nil)}
+	if opts.Autotune != nil {
+		p.tuner = newTuner(*opts.Autotune)
+	}
 	for _, l := range layers {
 		if skip[l.Name()] {
 			continue
@@ -242,6 +266,13 @@ func (p *Preconditioner) Rebind(c *comm.Communicator) {
 	// every partial mode so ownership is always rebuilt fresh.
 	partial := ResolveDistMode(p.opts.DistMode, p.opts.Strategy) != CommOpt
 	p.comm = c
+	// Autotune baselines and compression residuals are tied to the old
+	// world's timing and chunk schedule; restart both so every surviving
+	// rank re-enters the static configuration at the same boundary.
+	if p.tuner != nil {
+		p.tuner = newTuner(AutotuneConfig{Policy: p.tuner.policy, Interval: p.tuner.interval})
+	}
+	p.factorEF.Reset()
 	if partial {
 		for _, s := range p.states {
 			s.eigA, s.eigG, s.invA, s.invG = nil, nil, nil, nil
@@ -385,6 +416,15 @@ func (p *Preconditioner) Step(lr float64) error {
 
 	doFactors := iter%p.opts.FactorUpdateFreq == 0
 	doDecomp := iter%p.opts.InvUpdateFreq == 0
+	// Autotune consensus runs at factor-update boundaries (after the first
+	// update has produced a measurement), before either engine issues its
+	// collectives — the same schedule point on every rank, so the tiny
+	// consensus allreduce never interleaves differently with engine traffic.
+	if p.tuner != nil && doFactors && iter > 0 && p.comm != nil && p.comm.Size() > 1 {
+		if err := p.autotune(iter); err != nil {
+			return err
+		}
+	}
 	if p.opts.Engine == EnginePipelined {
 		if doFactors || doDecomp {
 			if err := p.updatePipelined(doFactors, doDecomp); err != nil {
@@ -446,8 +486,7 @@ func (p *Preconditioner) updateFactors() error {
 		return nil
 	}
 	commStart := time.Now()
-	fu := comm.NewFuser(p.comm, p.opts.FusionBytes)
-	fu.SetGroupSize(p.opts.GroupSize)
+	fu := p.factorFuser()
 	for _, s := range p.states {
 		fu.Add(s.A)
 		fu.Add(s.G)

@@ -42,6 +42,20 @@ type StageStats struct {
 	// side of the MEM-OPT/COMM-OPT tradeoff, recorded at every plan build
 	// and factor/decomposition update.
 	PeakFactorBytes int64
+
+	// TuneDecisions records every autotune consensus decision in step
+	// order (empty when WithAutotune is off). Every field of every entry
+	// is a consensus output or a pure function of one, so the slice must
+	// be deep-equal across ranks — the determinism suite asserts exactly
+	// that.
+	TuneDecisions []TuneDecision
+}
+
+// recordTune appends one autotune decision.
+func (s *StageStats) recordTune(d TuneDecision) {
+	s.mu.Lock()
+	s.TuneDecisions = append(s.TuneDecisions, d)
+	s.mu.Unlock()
 }
 
 // noteFactorMem raises the PeakFactorBytes high-water mark.
@@ -77,6 +91,7 @@ func (s *StageStats) Snapshot() StageStats {
 		PipelineIdle:    s.PipelineIdle,
 		PipelineUpdates: s.PipelineUpdates,
 		PeakFactorBytes: s.PeakFactorBytes,
+		TuneDecisions:   append([]TuneDecision(nil), s.TuneDecisions...),
 	}
 }
 

@@ -428,6 +428,12 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	if cfg.KFAC != nil {
 		gradGroupSize = cfg.KFAC.GroupSize
 	}
+	// The gradient exchange owns its error-feedback accumulator, separate
+	// from the preconditioner's factor-path residuals: the two streams
+	// carry different tensors, so sharing slots would corrupt both. It
+	// persists across iterations (and codec switches — see
+	// comm.ErrorFeedback.SetCodec) so residual mass is never dropped.
+	gradEF := comm.NewErrorFeedback(nil)
 
 	res := &Result{Iterations: startStep}
 	if prec != nil {
@@ -487,9 +493,34 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 			}
 
 			// Gradient exchange (optimizer.synchronize() in Listing 1).
+			// With a preconditioner attached, the exchange follows its
+			// effective tuning: the static kfac.WithCompression codec, or —
+			// under kfac.WithAutotune — whatever level the last consensus
+			// decision selected. Tuning() is sampled here, before Step, so a
+			// decision made during step k reconfigures the exchange from
+			// step k+1: the same boundary on every rank, because the
+			// decision itself is a consensus output.
 			if c != nil && world > 1 {
-				fu := comm.NewFuser(c, cfg.FusionBytes)
-				fu.SetGroupSize(gradGroupSize)
+				fusionBytes, groupSize := cfg.FusionBytes, gradGroupSize
+				var codec comm.Codec
+				bare := false
+				if prec != nil {
+					ts := prec.Tuning()
+					if ts.Tuned {
+						fusionBytes, groupSize = ts.FusionBytes, ts.GroupSize
+					}
+					codec, bare = ts.Codec, ts.NoErrorFeedback
+				}
+				fu := comm.NewFuser(c, fusionBytes)
+				fu.SetGroupSize(groupSize)
+				if codec != nil {
+					if bare {
+						fu.SetCodec(codec)
+					} else {
+						gradEF.SetCodec(codec)
+						fu.SetErrorFeedback(gradEF)
+					}
+				}
 				for _, p := range params {
 					fu.Add(p.Grad)
 				}
