@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,13 +51,20 @@ Experiment selection:
 Benchmark JSON mode:
   -json         run the benchmark matrix and write BENCH_<scenario>.json:
                 the (model × engine) step-engine cells plus the dist_* axis
-                ({COMM-OPT, MEM-OPT, HYBRID} × grad-worker fraction at
-                world 4, with per-rank peak factor memory)
+                ({COMM-OPT, MEM-OPT, HYBRID} × grad-worker fraction, with
+                per-rank peak factor memory)
   -out DIR      output directory for BENCH_*.json (default ".")
   -short        tiny-model matrix for CI smoke jobs (with -json)
   -precision P  precision slice of the matrix: f64 (reference cells and the
                 dist_* axis), f32 (the _f32 mixed-precision cells only), or
                 both (default)
+  -world N      dist_* axis world size (0 = 4 in-process, 16 for -fabric tcp)
+  -fabric F     dist transport: inproc (goroutines, the default) or tcp
+                (one OS process per rank over the TCP transport; runs the
+                f64 {commopt, memopt, hybrid50} sweep)
+  -cells        print the BENCH_<scenario> cell names the configured axes
+                emit, one per line, and exit (CI derives its artifact
+                asserts from this instead of a baked-in file list)
 
 Common:
   -seed N       random seed (default 42)
@@ -67,6 +75,8 @@ Examples:
   kfac-bench -json -out bench-artifacts
   kfac-bench -json -short
   kfac-bench -json -precision f32 -out bench-artifacts
+  kfac-bench -json -fabric tcp -world 16 -out bench-artifacts
+  kfac-bench -json -short -cells
 `)
 }
 
@@ -80,6 +90,11 @@ func main() {
 		outDir   = flag.String("out", ".", "output directory for -json results")
 		short    = flag.Bool("short", false, "tiny-model -json matrix (CI smoke)")
 		prec     = flag.String("precision", "both", "-json precision slice: f64, f32, or both")
+		world    = flag.Int("world", 0, "dist_* axis world size (0 = fabric default)")
+		fabric   = flag.String("fabric", "inproc", "dist transport: inproc or tcp")
+		cells    = flag.Bool("cells", false, "print the cell names the configured axes emit and exit")
+		tcpRank  = flag.Int("tcp-rank", -1, "internal: TCP child rank (spawned by -fabric tcp)")
+		addrs    = flag.String("addrs", "", "internal: comma-separated TCP rank addresses")
 		seed     = flag.Int64("seed", 42, "random seed")
 	)
 	flag.Usage = usage
@@ -94,8 +109,42 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
+	case *cells:
+		var names []string
+		switch *fabric {
+		case "tcp":
+			names = experiments.TCPBenchCells(*short, *world)
+		default:
+			names = experiments.BenchCells(experiments.BenchConfig{
+				Short: *short, Precision: *prec, World: *world,
+			})
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case *jsonMode && *tcpRank >= 0:
+		// Child of a -fabric tcp parent: one rank of the multi-process world.
+		err := experiments.RunBenchTCPChild(ctx, *outDir, *short, *seed, *world, *tcpRank,
+			strings.Split(*addrs, ","))
+		if err != nil {
+			fail(fmt.Sprintf("bench-tcp-rank%d", *tcpRank), err)
+		}
+	case *jsonMode && *fabric == "tcp":
+		exe, err := os.Executable()
+		if err != nil {
+			fail("bench-tcp", err)
+		}
+		paths, err := experiments.RunBenchTCP(ctx, *outDir, *short, *seed, *world, exe)
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		if err != nil {
+			fail("bench-tcp", err)
+		}
 	case *jsonMode:
-		paths, err := experiments.RunBenchJSONFiltered(ctx, *outDir, *short, *seed, *prec)
+		paths, err := experiments.RunBenchJSONConfig(ctx, *outDir, experiments.BenchConfig{
+			Short: *short, Seed: *seed, Precision: *prec, World: *world,
+		})
 		for _, p := range paths {
 			fmt.Println(p)
 		}

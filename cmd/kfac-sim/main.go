@@ -41,6 +41,16 @@ K-FAC schedule:
   -sgd-epochs N     SGD epoch budget for the time-to-solution comparison (default 90)
   -kfac-epochs N    K-FAC epoch budget (default 55)
 
+Topology and scale planning (docs/ARCHITECTURE.md "Scale planning"):
+  -ranks-per-node N override the modeled node size (default 4)
+  -nodes-per-rack N override the modeled rack size (default 16)
+  -mem-budget MB    per-worker decomposition memory budget for the planner
+                    (0 = unlimited); with -dist-mode auto the cost-model
+                    planner picks the cheapest fitting configuration
+  -plan-sweep       print the planner's full candidate grid — predicted step
+                    time, per-rank memory min/median/max, over-budget and
+                    chosen markers — at the requested world size
+
 Output:
   -workers          also print per-worker eigendecomposition load (min/median/max)
   -precision W      modeled element width for payloads and memory: f32 (the
@@ -53,6 +63,8 @@ Examples:
   kfac-sim -model resnet101 -gpus 64 -workers
   kfac-sim -model resnet50 -gpus 64 -dist-mode memopt
   kfac-sim -model resnet50 -gpus 128 -dist-mode hybrid -grad-worker-frac 0.25
+  kfac-sim -model resnet50 -gpus 256 -plan-sweep
+  kfac-sim -model resnet152 -gpus 1024 -mem-budget 400 -plan-sweep
 `)
 }
 
@@ -68,6 +80,10 @@ func main() {
 		kfacEpochs = flag.Int("kfac-epochs", 55, "K-FAC epoch budget")
 		workers    = flag.Bool("workers", false, "print per-worker eigendecomposition times")
 		precision  = flag.String("precision", "f32", "modeled element width: f32 (the paper's wire format) or f64")
+		ranksNode  = flag.Int("ranks-per-node", 0, "modeled ranks per node (0 = topology default)")
+		nodesRack  = flag.Int("nodes-per-rack", 0, "modeled nodes per rack (0 = topology default)")
+		memBudget  = flag.Float64("mem-budget", 0, "per-worker decomposition memory budget in MB (0 = unlimited)")
+		planSweep  = flag.Bool("plan-sweep", false, "print the planner's candidate grid with predictions")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -132,8 +148,47 @@ func main() {
 		f = simulate.PaperInvFreq(*gpus)
 	}
 
+	// Topology-aware plan model: the planner's pricing surface. The
+	// amortization frequencies follow the simulated schedule, and the
+	// candidate-independent base cost is the modeled forward+backward so
+	// predicted step times are absolute, not just comparable.
+	topo := simulate.DefaultTopology()
+	if *ranksNode > 0 {
+		topo.RanksPerNode = *ranksNode
+	}
+	if *nodesRack > 0 {
+		topo.NodesPerRack = *nodesRack
+	}
+	if err := topo.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pm := simulate.NewPlanModel(topo, cluster)
+	pm.InvUpdateFreq = f
+	pm.BaseStepSec = m.FwdBwdTime()
+	budgetBytes := int64(*memBudget * 1e6)
+	plannerCfg := kfac.AutoPlannerConfig{Model: pm, MemoryBudgetBytes: budgetBytes}
+	dec := kfac.ResolveAutoPlan(plannerCfg, strat, cat.FactorRefs(), *gpus)
+
 	fmt.Printf("model %s: %.1fM params, %d K-FAC layers, %d iterations/epoch at %d GPUs\n",
 		cat.Name, float64(cat.TotalParams())/1e6, len(cat.Layers), m.IterationsPerEpoch(*gpus), *gpus)
+
+	if dmode == kfac.DistAuto {
+		// Cost-model-driven DistAuto: the same resolution WithAutoPlanner
+		// installs in training, over the catalog's exact factor geometry.
+		dmode, *gradFrac = dec.Mode, dec.GradWorkerFrac
+		fmt.Printf("auto planner (%d ranks/node × %d nodes/rack): chose %s", topo.RanksPerNode, topo.NodesPerRack, dec.Mode)
+		if dec.Mode == kfac.Hybrid {
+			fmt.Printf(" f=%g", dec.GradWorkerFrac)
+		}
+		fmt.Printf(" group=%d — predicted %.1f ms/iter, %.1f MB/rank worst (grid %d, rejected %d",
+			dec.GroupSize, dec.PredictedStepSec*1e3, float64(dec.PredictedMemBytes)/1e6,
+			dec.Candidates, dec.Rejected)
+		if dec.OverBudget {
+			fmt.Printf("; NO candidate fit %.0f MB — minimum-memory fallback", *memBudget)
+		}
+		fmt.Println(")")
+	}
 
 	// Resolve the real distribution plan over the catalog's exact factor
 	// dimensions and report the per-rank eigenbasis footprint — the memory
@@ -156,6 +211,30 @@ func main() {
 	ec, em := m.EigStage(*gpus, strat)
 	fmt.Printf("stages: factor %.1f ms comp + %.1f ms comm | eig %.1f ms comp + %.1f ms comm\n",
 		fc*1e3, fm*1e3, ec*1e3, em*1e3)
+
+	if *planSweep {
+		fmt.Printf("\nplan sweep at %d GPUs, %d ranks/node × %d nodes/rack", *gpus, topo.RanksPerNode, topo.NodesPerRack)
+		if budgetBytes > 0 {
+			fmt.Printf(", budget %.0f MB/worker", *memBudget)
+		}
+		fmt.Println(":")
+		fmt.Printf("  %-8s %-6s %-5s  %9s  %26s  %s\n",
+			"mode", "frac", "group", "step ms", "mem/rank MB min/med/max", "status")
+		for _, cand := range kfac.PlanCandidates(plannerCfg) {
+			ev := pm.Evaluate(strat, cat.FactorRefs(), *gpus, cand)
+			mn, md, mx := ev.MemStats()
+			status := ""
+			if budgetBytes > 0 && ev.MaxMemBytes > budgetBytes {
+				status = "over-budget"
+			}
+			if cand == dec.PlanCandidate {
+				status += " <- chosen"
+			}
+			fmt.Printf("  %-8s %-6g %-5d  %9.2f  %8.1f %8.1f %8.1f  %s\n",
+				cand.Mode, cand.GradWorkerFrac, cand.GroupSize, ev.StepSec*1e3,
+				float64(mn)/1e6, float64(md)/1e6, float64(mx)/1e6, status)
+		}
+	}
 
 	sgd := m.TimeToSolutionMin(simulate.RunSpec{GPUs: *gpus, Epochs: *sgdEpochs})
 	kf := m.TimeToSolutionMin(simulate.RunSpec{

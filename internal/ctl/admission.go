@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kfac"
+	"repro/internal/simulate"
 )
 
 // Fleet declares the shared worker pool the daemon schedules over: how many
@@ -70,10 +71,23 @@ func Admit(spec *JobSpec, fleet Fleet) error {
 		}
 	}
 	if worst > fleet.MemoryPerWorker {
-		return &AdmissionError{Reason: fmt.Sprintf(
+		reason := fmt.Sprintf(
 			"K-FAC plan (%s, world %d) needs %d bytes of decomposition memory on rank %d "+
-				"but each worker offers %d; use dist_mode memopt or hybrid, or shrink the model",
-			plan.Mode, spec.World, worst, worstRank, fleet.MemoryPerWorker)}
+				"but each worker offers %d",
+			plan.Mode, spec.World, worst, worstRank, fleet.MemoryPerWorker)
+		// The scale planner prices the full candidate grid with the same
+		// memory arithmetic; when a configuration fits, name it so the
+		// rejection is actionable in one spec edit.
+		if hint, err := PlacementHint(spec, fleet, simulate.DefaultTopology()); err == nil && hint.FitsBudget {
+			reason += fmt.Sprintf("; planner hint: dist_mode=%s", hint.DistMode)
+			if hint.GradWorkerFrac > 0 {
+				reason += fmt.Sprintf(" grad_worker_frac=%g", hint.GradWorkerFrac)
+			}
+			reason += fmt.Sprintf(" fits at %d bytes/worker", hint.PredictedMemBytes)
+		} else {
+			reason += "; use dist_mode memopt or hybrid, or shrink the model"
+		}
+		return &AdmissionError{Reason: reason}
 	}
 	return nil
 }

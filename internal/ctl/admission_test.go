@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/kfac"
+	"repro/internal/simulate"
 )
 
 // tinySpec returns a valid 2-worker MLP job; tests mutate it.
@@ -160,8 +161,23 @@ func TestAdmitMemoryFootprintFollowsPlan(t *testing.T) {
 		t.Fatal("COMM-OPT job admitted past the memory budget")
 	}
 	if !strings.Contains(err.Error(), "bytes of decomposition memory") ||
-		!strings.Contains(err.Error(), "memopt") {
-		t.Errorf("rejection %q should name the footprint and suggest memopt", err)
+		!strings.Contains(err.Error(), "planner hint: dist_mode=") {
+		t.Errorf("rejection %q should name the footprint and carry a planner hint", err)
+	}
+
+	// The hint contract: a FitsBudget placement, applied to the spec,
+	// passes the same admission check that rejected the original.
+	hint, hintErr := PlacementHint(s, fleet, simulate.DefaultTopology())
+	if hintErr != nil {
+		t.Fatalf("PlacementHint: %v", hintErr)
+	}
+	if !hint.FitsBudget {
+		t.Fatalf("planner found no fitting candidate under budget %d: %+v", budget, hint)
+	}
+	hinted := *s
+	hinted.KFAC = &KFACSpec{DistMode: hint.DistMode, GradWorkerFrac: hint.GradWorkerFrac}
+	if err := Admit(&hinted, fleet); err != nil {
+		t.Errorf("hinted configuration %+v rejected under the same budget: %v", hint, err)
 	}
 
 	memopt := *s

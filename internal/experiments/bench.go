@@ -44,6 +44,11 @@ type BenchResult struct {
 	// reference path) or "f32" (float32 kernels with float64 accumulation;
 	// the scenario name carries a matching _f32 suffix).
 	Precision string `json:"precision"`
+	// Fabric is the transport the scenario ran on: "local" for
+	// single-process cells, "inproc" for the in-process dist_* axis, "tcp"
+	// when the cell ran across real OS processes over the TCP transport
+	// (kfac-bench -fabric tcp).
+	Fabric string `json:"fabric"`
 
 	// Distribution axis. Single-process scenarios report world 1 and the
 	// resolved COMM-OPT plan; dist_* scenarios sweep
@@ -126,8 +131,8 @@ func benchMatrix(short bool) []benchScenario {
 }
 
 // distScenario is one cell of the distribution-mode benchmark axis: a
-// multi-rank in-process run of one (model, mode, grad-worker fraction)
-// combination.
+// multi-rank run of one (model, mode, grad-worker fraction) combination,
+// in-process by default or across real OS processes under the TCP driver.
 type distScenario struct {
 	name      string
 	mode      kfac.DistMode
@@ -139,6 +144,8 @@ type distScenario struct {
 	world     int
 	steps     int
 	precision kfac.Precision
+	// fabric is the transport label the cell records ("inproc" when empty).
+	fabric string
 	// autotune enables the bandwidth-adaptive controller; on the bench's
 	// clean in-process fabric it stays at the exact level, so the cell
 	// measures pure controller overhead (one consensus allreduce per
@@ -146,19 +153,45 @@ type distScenario struct {
 	autotune bool
 }
 
-// distMatrix returns the {mode, gradWorkerFrac} × precision scenario axis.
-// The four mode cells cover both endpoints of the memory/communication
-// tradeoff and two HYBRID interpolations, each measured at the f64
-// reference precision and on the float32 kernel path (_f32 cells: the
-// layers compute in float32 and K-FAC runs its narrowed kernels, so the
-// cells track the mixed-precision cost of the distribution machinery);
-// -short shrinks the model for the CI smoke job.
-func distMatrix(short bool) []distScenario {
+// DefaultDistWorld is the dist_* axis world size when none is requested —
+// the historical in-process default the committed w4 trajectories use.
+const DefaultDistWorld = 4
+
+// scenarioName derives the cell's schema-stable scenario string
+// ("dist_<model>_w<world>_<name>[_f32]"). File names, the schema test, and
+// the CI artifact asserts all come from this one formula.
+func (sc distScenario) scenarioName() string {
+	s := fmt.Sprintf("dist_%s_w%d_%s", sc.model, sc.world, sc.name)
+	if sc.precision == kfac.F32 {
+		s += "_f32"
+	}
+	return s
+}
+
+// fabricLabel returns the transport label the cell records.
+func (sc distScenario) fabricLabel() string {
+	if sc.fabric == "" {
+		return "inproc"
+	}
+	return sc.fabric
+}
+
+// distMatrix returns the {mode, gradWorkerFrac} × precision scenario axis
+// at the given world size (0 = DefaultDistWorld). The four mode cells cover
+// both endpoints of the memory/communication tradeoff and two HYBRID
+// interpolations, each measured at the f64 reference precision and on the
+// float32 kernel path (_f32 cells: the layers compute in float32 and K-FAC
+// runs its narrowed kernels, so the cells track the mixed-precision cost of
+// the distribution machinery); -short shrinks the model for the CI smoke
+// job.
+func distMatrix(short bool, world int) []distScenario {
 	model, blocks, width, batch, steps := "small", 1, 8, 8, 8
 	if short {
 		model, blocks, width, batch, steps = "tiny", 1, 4, 4, 4
 	}
-	const world = 4
+	if world <= 0 {
+		world = DefaultDistWorld
+	}
 	cells := []struct {
 		name string
 		mode kfac.DistMode
@@ -180,7 +213,7 @@ func distMatrix(short bool) []distScenario {
 		}
 	}
 	// The autotune twin of the f64 COMM-OPT cell:
-	// `benchdiff -suffix _autotune` rekeys it onto dist_<model>_w4_commopt
+	// `benchdiff -suffix _autotune` rekeys it onto dist_<model>_w<N>_commopt
 	// and reports the controller's step-time overhead as the delta.
 	out = append(out, distScenario{
 		name: "commopt_autotune", mode: kfac.CommOpt,
@@ -190,51 +223,127 @@ func distMatrix(short bool) []distScenario {
 	return out
 }
 
+// BenchConfig parameterizes one -json benchmark run: the axes every cell
+// name is derived from. BenchCells on the same config predicts exactly
+// which BENCH_<scenario>.json files the run writes — the schema test and
+// the CI artifact asserts both consume that derivation instead of baked-in
+// name lists.
+type BenchConfig struct {
+	// Short selects the tiny-model matrix (the CI smoke job).
+	Short bool
+	// Seed is the synthetic-data RNG seed.
+	Seed int64
+	// Precision restricts the matrix to one precision slice: "f64" keeps
+	// the reference cells, "f32" the mixed-precision (_f32) cells, "both"
+	// (also the "" default) runs everything.
+	Precision string
+	// World is the dist_* axis world size (0 = DefaultDistWorld).
+	World int
+}
+
+// keepPrecision reports whether a cell of the given precision is in the
+// configured slice.
+func (cfg BenchConfig) keepPrecision(p kfac.Precision) bool {
+	switch cfg.Precision {
+	case "f64":
+		return p == kfac.F64
+	case "f32":
+		return p == kfac.F32
+	default:
+		return true
+	}
+}
+
+// validate rejects unknown precision slices.
+func (cfg BenchConfig) validate() error {
+	switch cfg.Precision {
+	case "", "f64", "f32", "both":
+		return nil
+	default:
+		return fmt.Errorf("bench: unknown precision filter %q (want f64, f32, or both)", cfg.Precision)
+	}
+}
+
+// BenchCells returns, in run order, the scenario names RunBenchJSONConfig
+// emits for a config — the derivation the schema test and the CI artifact
+// asserts (kfac-bench -cells) share with the runner, so the expected file
+// list can never drift from the axes.
+func BenchCells(cfg BenchConfig) []string {
+	var out []string
+	for _, sc := range benchMatrix(cfg.Short) {
+		if !cfg.keepPrecision(sc.precision) {
+			continue
+		}
+		for _, engine := range sc.engines {
+			name := fmt.Sprintf("%s_%s", sc.model, engine)
+			if sc.precision == kfac.F32 {
+				name += "_f32"
+			}
+			out = append(out, name)
+		}
+	}
+	for _, sc := range distMatrix(cfg.Short, cfg.World) {
+		if !cfg.keepPrecision(sc.precision) {
+			continue
+		}
+		out = append(out, sc.scenarioName())
+	}
+	return out
+}
+
+// writeBenchResult persists one scenario record as BENCH_<scenario>.json
+// and returns the file path.
+func writeBenchResult(outDir string, res *BenchResult) (string, error) {
+	path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", res.Scenario))
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 // RunBenchJSON executes the benchmark matrix — the single-process
 // (model × engine) cells plus the distributed {mode, gradWorkerFrac} axis
 // — and writes one BENCH_<scenario>.json per scenario into outDir,
 // returning the file paths. Scenarios respect ctx cancellation between
 // steps.
 func RunBenchJSON(ctx context.Context, outDir string, short bool, seed int64) ([]string, error) {
-	return RunBenchJSONFiltered(ctx, outDir, short, seed, "both")
+	return RunBenchJSONConfig(ctx, outDir, BenchConfig{Short: short, Seed: seed})
 }
 
 // RunBenchJSONFiltered is RunBenchJSON restricted to one precision slice of
-// the matrix — both the single-process cells and the dist_* axis carry an
-// f64 and an f32 slice: "f64" keeps the reference cells, "f32" keeps only
-// the mixed-precision (_f32) cells, "both" (the RunBenchJSON default) runs
-// everything.
+// the matrix at the default dist world.
 func RunBenchJSONFiltered(ctx context.Context, outDir string, short bool, seed int64, precision string) ([]string, error) {
-	switch precision {
-	case "f64", "f32", "both":
-	default:
-		return nil, fmt.Errorf("bench: unknown precision filter %q (want f64, f32, or both)", precision)
+	return RunBenchJSONConfig(ctx, outDir, BenchConfig{Short: short, Seed: seed, Precision: precision})
+}
+
+// RunBenchJSONConfig runs the matrix described by cfg; the emitted file set
+// is exactly BenchCells(cfg).
+func RunBenchJSONConfig(ctx context.Context, outDir string, cfg BenchConfig) ([]string, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
 	var paths []string
 	write := func(res *BenchResult) error {
-		path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", res.Scenario))
-		data, err := json.MarshalIndent(res, "", "  ")
+		path, err := writeBenchResult(outDir, res)
 		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 		paths = append(paths, path)
 		return nil
 	}
-	for _, sc := range benchMatrix(short) {
-		if precision == "f64" && sc.precision != kfac.F64 {
-			continue
-		}
-		if precision == "f32" && sc.precision != kfac.F32 {
+	for _, sc := range benchMatrix(cfg.Short) {
+		if !cfg.keepPrecision(sc.precision) {
 			continue
 		}
 		for _, engine := range sc.engines {
-			res, err := runBenchScenario(ctx, sc, engine, seed)
+			res, err := runBenchScenario(ctx, sc, engine, cfg.Seed)
 			if err != nil {
 				return paths, fmt.Errorf("bench %s_%s: %w", sc.model, engine, err)
 			}
@@ -243,14 +352,11 @@ func RunBenchJSONFiltered(ctx context.Context, outDir string, short bool, seed i
 			}
 		}
 	}
-	for _, sc := range distMatrix(short) {
-		if precision == "f64" && sc.precision != kfac.F64 {
+	for _, sc := range distMatrix(cfg.Short, cfg.World) {
+		if !cfg.keepPrecision(sc.precision) {
 			continue
 		}
-		if precision == "f32" && sc.precision != kfac.F32 {
-			continue
-		}
-		res, err := runDistBenchScenario(ctx, sc, seed)
+		res, err := runDistBenchScenario(ctx, sc, cfg.Seed)
 		if err != nil {
 			return paths, fmt.Errorf("bench dist %s: %w", sc.name, err)
 		}
@@ -261,30 +367,20 @@ func RunBenchJSONFiltered(ctx context.Context, outDir string, short bool, seed i
 	return paths, nil
 }
 
-// runDistBenchScenario measures one distribution-mode cell: world ranks in
-// lockstep over an in-process fabric, every rank training the same model
-// on the same data (so the measured cost is the distribution machinery,
-// not data divergence). Step wall time is rank 0's; the per-rank peak
-// factor memory comes from each rank's StageStats.
-func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*BenchResult, error) {
-	const facFreq, invFreq = 2, 4
-	fab := comm.NewInprocFabric(sc.world)
-	// Hard-abort context for the communicators: a rank that stops early
-	// (cancellation, step error) would otherwise leave its peers blocked
-	// forever inside a collective on the in-process fabric. Cancelling it
-	// fails their receives fast so wg.Wait always returns.
-	abortCtx, abort := context.WithCancel(context.Background())
-	defer abort()
-	scenario := fmt.Sprintf("dist_%s_w%d_%s", sc.model, sc.world, sc.name)
-	if sc.precision == kfac.F32 {
-		scenario += "_f32"
-	}
-	res := &BenchResult{
+// distBenchFreqs are the factor/decomposition update intervals of every
+// dist_* cell: short enough that a handful of steps amortizes both stages.
+const distBenchFacFreq, distBenchInvFreq = 2, 4
+
+// newDistBenchResult builds the cell's record skeleton shared by the
+// in-process and TCP drivers.
+func newDistBenchResult(sc distScenario) *BenchResult {
+	return &BenchResult{
 		Schema:    BenchSchema,
-		Scenario:  scenario,
+		Scenario:  sc.scenarioName(),
 		Model:     sc.model,
 		Engine:    kfac.EngineSync.String(),
 		Precision: sc.precision.String(),
+		Fabric:    sc.fabricLabel(),
 
 		World:                  sc.world,
 		PeakFactorBytesPerRank: make([]int64, sc.world),
@@ -294,9 +390,114 @@ func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*Be
 		BatchSize:  sc.batch,
 
 		Steps:            sc.steps,
-		FactorUpdateFreq: facFreq,
-		InvUpdateFreq:    invFreq,
+		FactorUpdateFreq: distBenchFacFreq,
+		InvUpdateFreq:    distBenchInvFreq,
 	}
+}
+
+// runDistRank executes one rank of a dist scenario over communicator c and
+// returns this rank's peak factor bytes. Every rank trains the same model
+// on the same data (so the measured cost is the distribution machinery,
+// not data divergence). Rank 0 additionally fills the timing, plan, and
+// stage-profile fields of res; other ranks leave res untouched. Shared by
+// the in-process driver (one goroutine per rank over an InprocFabric) and
+// the TCP driver (one OS process per rank).
+func runDistRank(ctx context.Context, sc distScenario, seed int64, c *comm.Communicator, res *BenchResult) (int64, error) {
+	rank := c.Rank()
+	rng := rand.New(rand.NewSource(seed))
+	net := models.BuildCIFARResNet(sc.blocks, sc.width, 3, 10, rng)
+	nn.SetBufferReuse(net, true)
+	if sc.precision == kfac.F32 {
+		nn.SetComputeF32(net, true)
+	}
+	opts := kfac.Options{
+		FactorUpdateFreq: distBenchFacFreq, InvUpdateFreq: distBenchInvFreq, Damping: 1e-3,
+		DistMode: sc.mode, GradWorkerFrac: sc.frac,
+		Precision: sc.precision,
+	}
+	if sc.autotune {
+		opts.Autotune = &kfac.AutotuneConfig{}
+	}
+	prec := kfac.NewFromOptions(net, c, opts)
+	defer prec.Close()
+	if rank == 0 {
+		plan := prec.Plan()
+		res.DistMode = plan.Mode.String()
+		res.GradWorkerFrac = plan.GradWorkerFrac
+		res.Params = nn.ParamCount(net)
+		res.KFACLayers = prec.NumLayers()
+	}
+
+	ce := nn.CrossEntropy{}
+	x := tensor.Randn(rng, 1, sc.batch, 3, 16, 16)
+	labels := make([]int, sc.batch)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	params := net.Params()
+	step := func() error {
+		out := net.Forward(x, true)
+		_, grad := ce.Loss(out, labels)
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		net.Backward(grad)
+		return prec.Step(0.1)
+	}
+	// Warmup: first factor + decomposition update, workspaces settle.
+	for i := 0; i < 2; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if err := step(); err != nil {
+			return 0, err
+		}
+	}
+	statsBefore := prec.Stats().Snapshot()
+	var total, min, max time.Duration
+	for i := 0; i < sc.steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		if err := step(); err != nil {
+			return 0, err
+		}
+		d := time.Since(t0)
+		total += d
+		if min == 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	statsAfter := prec.Stats().Snapshot()
+	if rank == 0 {
+		res.StepTimeMeanNS = int64(total) / int64(sc.steps)
+		res.StepTimeMinNS = int64(min)
+		res.StepTimeMaxNS = int64(max)
+		res.FactorComputeNS = int64(statsAfter.FactorCompute - statsBefore.FactorCompute)
+		res.FactorCommNS = int64(statsAfter.FactorComm - statsBefore.FactorComm)
+		res.EigComputeNS = int64(statsAfter.EigCompute - statsBefore.EigCompute)
+		res.EigCommNS = int64(statsAfter.EigComm - statsBefore.EigComm)
+		res.PreconditionNS = int64(statsAfter.Precondition - statsBefore.Precondition)
+	}
+	return statsAfter.PeakFactorBytes, nil
+}
+
+// runDistBenchScenario measures one distribution-mode cell: world ranks in
+// lockstep over an in-process fabric. Step wall time is rank 0's; the
+// per-rank peak factor memory comes from each rank's StageStats.
+func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*BenchResult, error) {
+	fab := comm.NewInprocFabric(sc.world)
+	// Hard-abort context for the communicators: a rank that stops early
+	// (cancellation, step error) would otherwise leave its peers blocked
+	// forever inside a collective on the in-process fabric. Cancelling it
+	// fails their receives fast so wg.Wait always returns.
+	abortCtx, abort := context.WithCancel(context.Background())
+	defer abort()
+	res := newDistBenchResult(sc)
 
 	errs := make([]error, sc.world)
 	var wg sync.WaitGroup
@@ -309,89 +510,13 @@ func runDistBenchScenario(ctx context.Context, sc distScenario, seed int64) (*Be
 					abort()
 				}
 			}()
-			rng := rand.New(rand.NewSource(seed))
-			net := models.BuildCIFARResNet(sc.blocks, sc.width, 3, 10, rng)
-			nn.SetBufferReuse(net, true)
-			if sc.precision == kfac.F32 {
-				nn.SetComputeF32(net, true)
-			}
 			c := comm.NewCommunicator(fab.Endpoint(r)).WithContext(abortCtx)
-			opts := kfac.Options{
-				FactorUpdateFreq: facFreq, InvUpdateFreq: invFreq, Damping: 1e-3,
-				DistMode: sc.mode, GradWorkerFrac: sc.frac,
-				Precision: sc.precision,
+			peak, err := runDistRank(ctx, sc, seed, c, res)
+			if err != nil {
+				errs[r] = err
+				return
 			}
-			if sc.autotune {
-				opts.Autotune = &kfac.AutotuneConfig{}
-			}
-			prec := kfac.NewFromOptions(net, c, opts)
-			defer prec.Close()
-			if r == 0 {
-				plan := prec.Plan()
-				res.DistMode = plan.Mode.String()
-				res.GradWorkerFrac = plan.GradWorkerFrac
-				res.Params = nn.ParamCount(net)
-				res.KFACLayers = prec.NumLayers()
-			}
-
-			ce := nn.CrossEntropy{}
-			x := tensor.Randn(rng, 1, sc.batch, 3, 16, 16)
-			labels := make([]int, sc.batch)
-			for i := range labels {
-				labels[i] = rng.Intn(10)
-			}
-			params := net.Params()
-			step := func() error {
-				out := net.Forward(x, true)
-				_, grad := ce.Loss(out, labels)
-				for _, p := range params {
-					p.ZeroGrad()
-				}
-				net.Backward(grad)
-				return prec.Step(0.1)
-			}
-			// Warmup: first factor + decomposition update, workspaces settle.
-			for i := 0; i < 2; i++ {
-				if err := ctx.Err(); err != nil {
-					errs[r] = err
-					return
-				}
-				if errs[r] = step(); errs[r] != nil {
-					return
-				}
-			}
-			statsBefore := prec.Stats().Snapshot()
-			var total, min, max time.Duration
-			for i := 0; i < sc.steps; i++ {
-				if err := ctx.Err(); err != nil {
-					errs[r] = err
-					return
-				}
-				t0 := time.Now()
-				if errs[r] = step(); errs[r] != nil {
-					return
-				}
-				d := time.Since(t0)
-				total += d
-				if min == 0 || d < min {
-					min = d
-				}
-				if d > max {
-					max = d
-				}
-			}
-			statsAfter := prec.Stats().Snapshot()
-			res.PeakFactorBytesPerRank[r] = statsAfter.PeakFactorBytes
-			if r == 0 {
-				res.StepTimeMeanNS = int64(total) / int64(sc.steps)
-				res.StepTimeMinNS = int64(min)
-				res.StepTimeMaxNS = int64(max)
-				res.FactorComputeNS = int64(statsAfter.FactorCompute - statsBefore.FactorCompute)
-				res.FactorCommNS = int64(statsAfter.FactorComm - statsBefore.FactorComm)
-				res.EigComputeNS = int64(statsAfter.EigCompute - statsBefore.EigCompute)
-				res.EigCommNS = int64(statsAfter.EigComm - statsBefore.EigComm)
-				res.PreconditionNS = int64(statsAfter.Precondition - statsBefore.Precondition)
-			}
+			res.PeakFactorBytesPerRank[r] = peak
 		}(r)
 	}
 	wg.Wait()
@@ -442,6 +567,7 @@ func runBenchScenario(ctx context.Context, sc benchScenario, engine kfac.Engine,
 		Model:          sc.model,
 		Engine:         engine.String(),
 		Precision:      sc.precision.String(),
+		Fabric:         "local",
 		World:          1,
 		DistMode:       plan.Mode.String(),
 		GradWorkerFrac: plan.GradWorkerFrac,

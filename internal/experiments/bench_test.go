@@ -3,27 +3,151 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/kfac"
 )
 
 // TestRunBenchJSONSchemaStable runs the -short benchmark matrix into a
 // temp dir and verifies every emitted file parses and carries the
 // documented kfac-bench/v1 fields — the same gate the CI bench-smoke job
-// applies to its artifact.
+// applies to its artifact. The expected file set is DERIVED from the axes
+// via BenchCells, not baked in, so adding a world size or mode to the
+// matrix updates the expectation automatically.
 func TestRunBenchJSONSchemaStable(t *testing.T) {
 	dir := t.TempDir()
-	paths, err := RunBenchJSON(context.Background(), dir, true, 42)
+	cfg := BenchConfig{Short: true, Seed: 42}
+	paths, err := RunBenchJSONConfig(context.Background(), dir, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// tiny × {sync, pipelined} × {f64, f32} plus the four dist_* mode cells
-	// in both precisions plus the autotune twin of the f64 COMM-OPT cell.
-	if len(paths) != 13 {
-		t.Fatalf("got %d result files, want 13", len(paths))
+	assertCellsMatch(t, paths, BenchCells(cfg))
+	checkBenchFiles(t, paths)
+
+	// Shape invariants derived from the same axes the runner uses.
+	wantDist, wantF32, autotuneCell := 0, 0, ""
+	for _, sc := range benchMatrix(cfg.Short) {
+		if sc.precision == kfac.F32 {
+			wantF32 += len(sc.engines)
+		}
 	}
-	distSeen, f32Seen := 0, 0
+	for _, sc := range distMatrix(cfg.Short, cfg.World) {
+		wantDist++
+		if sc.precision == kfac.F32 {
+			wantF32++
+		}
+		if sc.autotune {
+			autotuneCell = sc.scenarioName()
+		}
+	}
+	distSeen, f32Seen, autotuneSeen := countCells(t, paths)
+	if distSeen != wantDist {
+		t.Errorf("saw %d dist_* scenarios, want %d (derived from distMatrix)", distSeen, wantDist)
+	}
+	if f32Seen != wantF32 {
+		t.Errorf("saw %d f32 scenarios, want %d (derived from the axes)", f32Seen, wantF32)
+	}
+	if autotuneCell == "" || !autotuneSeen {
+		t.Errorf("autotune bench cell %q missing from the short matrix", autotuneCell)
+	}
+
+	// A round-trip through the typed struct must preserve the schema tag
+	// (catches accidental field renames).
+	var typed BenchResult
+	raw, _ := os.ReadFile(paths[0])
+	if err := json.Unmarshal(raw, &typed); err != nil {
+		t.Fatal(err)
+	}
+	if typed.Schema != BenchSchema || typed.Scenario == "" {
+		t.Errorf("typed round-trip lost fields: %+v", typed)
+	}
+}
+
+// TestRunBenchJSONWorldAxis runs one non-default world size through the
+// in-process driver and verifies world is a real schema axis: derived
+// names, the world field, and world-length per-rank memory all follow it.
+func TestRunBenchJSONWorldAxis(t *testing.T) {
+	dir := t.TempDir()
+	cfg := BenchConfig{Short: true, Seed: 42, Precision: "f64", World: 2}
+	paths, err := RunBenchJSONConfig(context.Background(), dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCellsMatch(t, paths, BenchCells(cfg))
+	for _, p := range paths {
+		var typed BenchResult
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, &typed); err != nil {
+			t.Fatal(err)
+		}
+		if typed.World == 1 {
+			continue // single-process engine cells
+		}
+		if typed.World != 2 {
+			t.Errorf("%s: world = %d, want the configured 2", p, typed.World)
+		}
+		if len(typed.PeakFactorBytesPerRank) != 2 {
+			t.Errorf("%s: %d per-rank entries, want 2", p, len(typed.PeakFactorBytesPerRank))
+		}
+		if typed.Fabric != "inproc" {
+			t.Errorf("%s: fabric = %q, want inproc", p, typed.Fabric)
+		}
+	}
+}
+
+// TestBenchCellsDerivation pins the derivation contract: names follow the
+// dist_<model>_w<world>_<mode>[_f32] formula at whatever world is asked,
+// and the TCP matrix is the f64 three-mode sweep.
+func TestBenchCellsDerivation(t *testing.T) {
+	cells := BenchCells(BenchConfig{Short: true, World: 32, Precision: "f64"})
+	want := map[string]bool{
+		"dist_tiny_w32_commopt": true, "dist_tiny_w32_memopt": true,
+		"dist_tiny_w32_hybrid25": true, "dist_tiny_w32_hybrid50": true,
+		"dist_tiny_w32_commopt_autotune": true,
+	}
+	for _, c := range cells {
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("w32 f64 cells missing: %v (got %v)", want, cells)
+	}
+	tcp := TCPBenchCells(true, 16)
+	wantTCP := []string{"dist_tiny_w16_commopt", "dist_tiny_w16_memopt", "dist_tiny_w16_hybrid50"}
+	if len(tcp) != len(wantTCP) {
+		t.Fatalf("TCP cells = %v, want %v", tcp, wantTCP)
+	}
+	for i := range tcp {
+		if tcp[i] != wantTCP[i] {
+			t.Errorf("TCP cell[%d] = %q, want %q", i, tcp[i], wantTCP[i])
+		}
+	}
+}
+
+// assertCellsMatch checks the emitted file paths are exactly the derived
+// cell names, in order.
+func assertCellsMatch(t *testing.T, paths, cells []string) {
+	t.Helper()
+	if len(paths) != len(cells) {
+		t.Fatalf("got %d result files, want %d derived cells", len(paths), len(cells))
+	}
+	for i, p := range paths {
+		if want := fmt.Sprintf("BENCH_%s.json", cells[i]); filepath.Base(p) != want {
+			t.Errorf("file[%d] = %s, want %s", i, filepath.Base(p), want)
+		}
+	}
+}
+
+// checkBenchFiles applies the per-file schema gate shared with the CI
+// artifact job: valid JSON, documented fields, positive timings, world-
+// consistent per-rank memory, and _f32 suffix discipline.
+func checkBenchFiles(t *testing.T, paths []string) {
+	t.Helper()
 	for _, p := range paths {
 		if base := filepath.Base(p); base[:6] != "BENCH_" {
 			t.Errorf("result file %q does not follow BENCH_<scenario>.json", base)
@@ -40,7 +164,7 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 			t.Errorf("%s: schema = %v, want %s", p, doc["schema"], BenchSchema)
 		}
 		for _, key := range []string{
-			"scenario", "model", "engine", "precision", "steps",
+			"scenario", "model", "engine", "precision", "fabric", "steps",
 			"world", "dist_mode", "grad_worker_frac", "peak_factor_bytes_per_rank",
 			"step_time_mean_ns", "allocs_per_step", "bytes_per_step",
 			"factor_compute_ns", "eig_compute_ns", "precondition_ns", "overlap_ns",
@@ -62,15 +186,18 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 		switch typed.Precision {
 		case "f64":
 		case "f32":
-			f32Seen++
 			if len(typed.Scenario) < 4 || typed.Scenario[len(typed.Scenario)-4:] != "_f32" {
 				t.Errorf("%s: precision f32 but scenario %q lacks _f32 suffix", p, typed.Scenario)
 			}
 		default:
 			t.Errorf("%s: precision = %q, want f64 or f32", p, typed.Precision)
 		}
+		switch typed.Fabric {
+		case "local", "inproc", "tcp":
+		default:
+			t.Errorf("%s: fabric = %q, want local, inproc, or tcp", p, typed.Fabric)
+		}
 		if typed.World > 1 {
-			distSeen++
 			if len(typed.PeakFactorBytesPerRank) != typed.World {
 				t.Errorf("%s: %d per-rank memory entries for world %d",
 					p, len(typed.PeakFactorBytesPerRank), typed.World)
@@ -85,29 +212,29 @@ func TestRunBenchJSONSchemaStable(t *testing.T) {
 			}
 		}
 	}
-	if distSeen != 9 {
-		t.Errorf("saw %d dist_* scenarios, want 9 (4 modes × 2 precisions + autotune twin)", distSeen)
-	}
-	autotuneSeen := false
+}
+
+// countCells tallies dist/f32/autotune cells among emitted files.
+func countCells(t *testing.T, paths []string) (dist, f32 int, autotune bool) {
+	t.Helper()
 	for _, p := range paths {
-		if filepath.Base(p) == "BENCH_dist_tiny_w4_commopt_autotune.json" {
-			autotuneSeen = true
+		var typed BenchResult
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, &typed); err != nil {
+			t.Fatal(err)
+		}
+		if typed.World > 1 {
+			dist++
+		}
+		if typed.Precision == "f32" {
+			f32++
+		}
+		if len(typed.Scenario) > 9 && typed.Scenario[len(typed.Scenario)-9:] == "_autotune" {
+			autotune = true
 		}
 	}
-	if !autotuneSeen {
-		t.Error("autotune bench cell missing from the short matrix")
-	}
-	if f32Seen != 6 {
-		t.Errorf("saw %d f32 scenarios, want 6 (2 engines + 4 dist modes)", f32Seen)
-	}
-	// A round-trip through the typed struct must preserve the schema tag
-	// (catches accidental field renames).
-	var typed BenchResult
-	raw, _ := os.ReadFile(paths[0])
-	if err := json.Unmarshal(raw, &typed); err != nil {
-		t.Fatal(err)
-	}
-	if typed.Schema != BenchSchema || typed.Scenario == "" {
-		t.Errorf("typed round-trip lost fields: %+v", typed)
-	}
+	return dist, f32, autotune
 }

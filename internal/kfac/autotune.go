@@ -190,12 +190,17 @@ func (p *Preconditioner) effFusionBytes() int {
 	return p.opts.FusionBytes
 }
 
-// effGroupSize returns the effective hierarchical group size.
+// effGroupSize returns the effective hierarchical group size: an autotune
+// decision wins, then an explicit WithGroupSize, then the auto-planner's
+// chosen group size (0 everywhere keeps the flat ring).
 func (p *Preconditioner) effGroupSize() int {
 	if p.tuner != nil && p.tuner.level >= 0 {
 		return p.tuner.policy.Levels[p.tuner.level].GroupSize
 	}
-	return p.opts.GroupSize
+	if p.opts.GroupSize != 0 {
+		return p.opts.GroupSize
+	}
+	return p.plannedGroupSize
 }
 
 // Tuning returns the effective communication configuration. The trainer

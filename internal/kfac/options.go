@@ -141,3 +141,16 @@ func WithBareCompression(c comm.Codec) Option {
 func WithAutotune(cfg AutotuneConfig) Option {
 	return func(o *Options) { o.Autotune = &cfg }
 }
+
+// WithAutoPlanner replaces the legacy two-case DistAuto rule with the
+// cost-model planner: at plan-build time the candidate
+// (DistMode, GradWorkerFrac, GroupSize) grid is priced by cfg.Model,
+// candidates over cfg.MemoryBudgetBytes are rejected, and the cheapest
+// survivor is selected — deterministically, as a pure function of the
+// BuildPlan inputs, so every rank picks the same configuration without
+// communication. Only consulted while DistMode is DistAuto (an explicit
+// WithDistMode always wins); with a nil Model the legacy rule applies
+// bit-identically. The canonical model is simulate.PlanModel.
+func WithAutoPlanner(cfg AutoPlannerConfig) Option {
+	return func(o *Options) { o.AutoPlanner = &cfg }
+}

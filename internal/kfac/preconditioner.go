@@ -110,6 +110,14 @@ type Options struct {
 	// static Compression/FusionBytes/GroupSize fields from the first
 	// decision on. See autotune.go.
 	Autotune *AutotuneConfig
+	// AutoPlanner, when non-nil with a Model, resolves DistMode == DistAuto
+	// through the cost-model planner instead of the legacy two-case rule:
+	// candidate (mode, frac, group-size) configurations are enumerated at
+	// plan-build time, filtered by the per-worker memory budget, and the
+	// model-cheapest one wins — deterministically on every rank. Explicit
+	// DistMode settings always take precedence; a nil Model keeps the
+	// legacy rule bit-identical. See planner.go.
+	AutoPlanner *AutoPlannerConfig
 }
 
 func (o *Options) fillDefaults() {
@@ -191,6 +199,13 @@ type Preconditioner struct {
 	factorEF *comm.ErrorFeedback
 	tuner    *tuner
 
+	// decision is the auto-planner's latest resolution (nil when the
+	// legacy DistAuto rule or an explicit mode decided); plannedGroupSize
+	// is its chosen hierarchical group size, consulted by effGroupSize
+	// when no explicit GroupSize option is set.
+	decision         *PlanDecision
+	plannedGroupSize int
+
 	// Reused per-step slices and dispatch record for the precondition
 	// phase.
 	gradsBuf, precondsBuf []*tensor.Tensor
@@ -265,6 +280,12 @@ func (p *Preconditioner) Rebind(c *comm.Communicator) {
 	// fully replicated, but clearing stays the conservative contract for
 	// every partial mode so ownership is always rebuilt fresh.
 	partial := ResolveDistMode(p.opts.DistMode, p.opts.Strategy) != CommOpt
+	if p.opts.DistMode == DistAuto && p.opts.AutoPlanner != nil && p.opts.AutoPlanner.Model != nil {
+		// The cost-model planner may pick a different configuration at the
+		// new world size; clear conservatively so ownership is always
+		// rebuilt fresh under whatever plan replan resolves.
+		partial = true
+	}
 	p.comm = c
 	// Autotune baselines and compression residuals are tied to the old
 	// world's timing and chunk schedule; restart both so every surviving
@@ -306,7 +327,14 @@ func (p *Preconditioner) rank() int {
 // Every rank computes the identical plan from shared state, so no
 // communication is needed (Algorithm 1, line 9).
 func (p *Preconditioner) replan() {
-	p.plan = BuildPlan(p.opts.Strategy, p.opts.DistMode, p.opts.GradWorkerFrac,
+	mode, frac := p.opts.DistMode, p.opts.GradWorkerFrac
+	p.decision, p.plannedGroupSize = nil, 0
+	if mode == DistAuto && p.opts.AutoPlanner != nil && p.opts.AutoPlanner.Model != nil {
+		d := ResolveAutoPlan(*p.opts.AutoPlanner, p.opts.Strategy, p.FactorRefs(), p.size())
+		p.decision = &d
+		mode, frac, p.plannedGroupSize = d.Mode, d.GradWorkerFrac, d.GroupSize
+	}
+	p.plan = BuildPlan(p.opts.Strategy, mode, frac,
 		p.FactorRefs(), p.size())
 	partial := p.comm != nil && p.comm.Size() > 1 && !p.plan.FullyReplicated()
 	for i, s := range p.states {
@@ -324,6 +352,10 @@ func (p *Preconditioner) replan() {
 
 // Plan returns the active resolved distribution plan.
 func (p *Preconditioner) Plan() *Plan { return p.plan }
+
+// Decision returns the auto-planner resolution behind the active plan, or
+// nil when an explicit mode or the legacy DistAuto rule decided.
+func (p *Preconditioner) Decision() *PlanDecision { return p.decision }
 
 // factorMemBytes measures this rank's currently resident K-FAC factor
 // state in bytes: running averages, covariance/preconditioning workspaces,

@@ -1,0 +1,171 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kfac"
+	"repro/internal/models"
+)
+
+func testPlanModel() *PlanModel {
+	return NewPlanModel(DefaultTopology(), DefaultV100Cluster())
+}
+
+func r50Refs() []kfac.FactorRef { return models.ResNet50Catalog().FactorRefs() }
+
+func TestPlanModelMemoryMatchesPlan(t *testing.T) {
+	// The model's memory side must agree byte-for-byte with the real plan's
+	// DecompElemsPerRank at 8 bytes/elem — the same arithmetic ctl.Admit
+	// charges.
+	pm := testPlanModel()
+	refs := r50Refs()
+	for _, world := range []int{1, 4, 64} {
+		for _, cand := range []kfac.PlanCandidate{
+			{Mode: kfac.CommOpt},
+			{Mode: kfac.MemOpt},
+			{Mode: kfac.Hybrid, GradWorkerFrac: 0.25},
+		} {
+			ev := pm.Evaluate(kfac.RoundRobin, refs, world, cand)
+			plan := kfac.BuildPlan(kfac.RoundRobin, cand.Mode, cand.GradWorkerFrac, refs, world)
+			elems := plan.DecompElemsPerRank(refs)
+			if len(ev.MemBytesPerRank) != world {
+				t.Fatalf("world=%d: %d memory entries", world, len(ev.MemBytesPerRank))
+			}
+			var wantMax int64
+			for r, e := range elems {
+				want := e * 8
+				if ev.MemBytesPerRank[r] != want {
+					t.Errorf("world=%d mode=%v rank=%d: mem %d, want %d",
+						world, cand.Mode, r, ev.MemBytesPerRank[r], want)
+				}
+				if want > wantMax {
+					wantMax = want
+				}
+			}
+			if ev.MaxMemBytes != wantMax {
+				t.Errorf("world=%d mode=%v: max mem %d, want %d", world, cand.Mode, ev.MaxMemBytes, wantMax)
+			}
+		}
+	}
+}
+
+func TestPlanModelMemOptSavesMemoryCostsComm(t *testing.T) {
+	// The paper's tradeoff, reproduced by the model at scale: MEM-OPT's
+	// worst rank holds far less than COMM-OPT's full replication, and pays
+	// for it with per-iteration result broadcasts COMM-OPT doesn't have.
+	pm := testPlanModel()
+	refs := r50Refs()
+	world := 64
+	co := pm.Evaluate(kfac.RoundRobin, refs, world, kfac.PlanCandidate{Mode: kfac.CommOpt})
+	mo := pm.Evaluate(kfac.RoundRobin, refs, world, kfac.PlanCandidate{Mode: kfac.MemOpt})
+	if mo.MaxMemBytes >= co.MaxMemBytes {
+		t.Errorf("MemOpt max mem %d should undercut CommOpt %d", mo.MaxMemBytes, co.MaxMemBytes)
+	}
+	if co.ResultBcastSec != 0 {
+		t.Errorf("CommOpt should have no result broadcasts, got %.6f", co.ResultBcastSec)
+	}
+	if mo.ResultBcastSec <= 0 {
+		t.Error("MemOpt must pay per-iteration result broadcasts")
+	}
+	if co.EigCommSec != 0 {
+		// Full replication means every factor broadcasts to all ranks.
+		// (Recipient sets are the whole world, so this IS nonzero — fix the
+		// expectation if the plan semantics say otherwise.)
+		t.Logf("CommOpt eig distribution %.6f (expected nonzero)", co.EigCommSec)
+	}
+	// Hybrid interpolates the memory side.
+	hy := pm.Evaluate(kfac.RoundRobin, refs, world, kfac.PlanCandidate{Mode: kfac.Hybrid, GradWorkerFrac: 0.25})
+	if !(mo.MaxMemBytes <= hy.MaxMemBytes && hy.MaxMemBytes <= co.MaxMemBytes) {
+		t.Errorf("Hybrid mem %d not between MemOpt %d and CommOpt %d",
+			hy.MaxMemBytes, mo.MaxMemBytes, co.MaxMemBytes)
+	}
+}
+
+func TestPlanModelStepSecIsBreakdownSum(t *testing.T) {
+	pm := testPlanModel()
+	pm.BaseStepSec = 0.190
+	pm.GradBytes = 25.5e6 * 4
+	refs := r50Refs()
+	ev := pm.Evaluate(kfac.RoundRobin, refs, 128, kfac.PlanCandidate{Mode: kfac.Hybrid, GradWorkerFrac: 0.5, GroupSize: 4})
+	sum := pm.BaseStepSec + ev.GradAllreduceSec + ev.PrecondSec + ev.ResultBcastSec +
+		ev.FactorCommSec + ev.EigComputeSec + ev.EigCommSec
+	if math.Abs(ev.StepSec-sum) > 1e-12 {
+		t.Errorf("StepSec %.9f != breakdown sum %.9f", ev.StepSec, sum)
+	}
+	if ev.GradAllreduceSec <= 0 || ev.FactorCommSec <= 0 || ev.EigComputeSec <= 0 {
+		t.Errorf("breakdown has empty stages: %+v", ev)
+	}
+}
+
+func TestPlanModelGroupSizeChangesCost(t *testing.T) {
+	// The group-size axis must actually reach the collective pricing:
+	// node-sized groups beat the flat ring for the bulk factor payload at a
+	// multi-rack world.
+	pm := testPlanModel()
+	refs := r50Refs()
+	world := 256
+	flat := pm.Evaluate(kfac.RoundRobin, refs, world, kfac.PlanCandidate{Mode: kfac.CommOpt})
+	grouped := pm.Evaluate(kfac.RoundRobin, refs, world, kfac.PlanCandidate{Mode: kfac.CommOpt, GroupSize: 4})
+	if grouped.FactorCommSec >= flat.FactorCommSec {
+		t.Errorf("grouped factor allreduce %.6f should beat flat %.6f",
+			grouped.FactorCommSec, flat.FactorCommSec)
+	}
+	// Memory is plan-determined, not group-size-determined.
+	if grouped.MaxMemBytes != flat.MaxMemBytes {
+		t.Errorf("group size changed memory: %d vs %d", grouped.MaxMemBytes, flat.MaxMemBytes)
+	}
+}
+
+func TestPlanModelDeterministic(t *testing.T) {
+	pm := testPlanModel()
+	refs := r50Refs()
+	cand := kfac.PlanCandidate{Mode: kfac.Hybrid, GradWorkerFrac: 0.125, GroupSize: 8}
+	c1, m1 := pm.CandidateCost(kfac.SizeGreedy, refs, 512, cand)
+	c2, m2 := pm.CandidateCost(kfac.SizeGreedy, refs, 512, cand)
+	if c1 != c2 || m1 != m2 {
+		t.Errorf("CandidateCost not deterministic: (%v,%v) vs (%v,%v)", c1, m1, c2, m2)
+	}
+}
+
+func TestPlanModelMemStats(t *testing.T) {
+	min, median, max := memStats([]int64{5, 1, 3})
+	if min != 1 || median != 3 || max != 5 {
+		t.Errorf("memStats = %d/%d/%d, want 1/3/5", min, median, max)
+	}
+	if a, b, c := memStats(nil); a != 0 || b != 0 || c != 0 {
+		t.Error("empty memStats should be zeros")
+	}
+}
+
+func TestPlanModelDrivesAutoPlanner(t *testing.T) {
+	// End-to-end: the planner with this model picks a real candidate, never
+	// over budget when one fits, and under a tight budget avoids CommOpt's
+	// full replication at scale.
+	pm := testPlanModel()
+	refs := r50Refs()
+	world := 256
+	co := pm.Evaluate(kfac.RoundRobin, refs, world, kfac.PlanCandidate{Mode: kfac.CommOpt})
+
+	unlimited := kfac.ResolveAutoPlan(kfac.AutoPlannerConfig{Model: pm}, kfac.RoundRobin, refs, world)
+	if unlimited.Candidates == 0 || unlimited.OverBudget {
+		t.Fatalf("unlimited planner failed: %+v", unlimited)
+	}
+
+	tight := kfac.ResolveAutoPlan(kfac.AutoPlannerConfig{
+		Model:             pm,
+		MemoryBudgetBytes: co.MaxMemBytes / 2,
+	}, kfac.RoundRobin, refs, world)
+	if tight.OverBudget {
+		t.Fatalf("half-CommOpt budget should still admit candidates: %+v", tight)
+	}
+	if tight.Mode == kfac.CommOpt {
+		t.Errorf("budget of CommOpt/2 must exclude CommOpt, picked %+v", tight.PlanCandidate)
+	}
+	if tight.PredictedMemBytes > co.MaxMemBytes/2 {
+		t.Errorf("chosen candidate %d bytes exceeds budget %d", tight.PredictedMemBytes, co.MaxMemBytes/2)
+	}
+	if tight.Rejected == 0 {
+		t.Error("tight budget should have rejected some candidates")
+	}
+}

@@ -8,6 +8,7 @@
 //	go run ./tools/benchdiff -ref bench -new bench-artifacts -strict
 //	go run ./tools/benchdiff -a bench -b bench-artifacts
 //	go run ./tools/benchdiff -a bench -b bench -suffix _f32
+//	go run ./tools/benchdiff -ref bench -new bench-artifacts -fabric tcp
 //
 // The -a/-b pair is the general two-directory form (-a is the baseline,
 // -b the candidate); -ref/-new remain as the regression-gate spelling and
@@ -41,8 +42,10 @@ import (
 // load reads every BENCH_*.json in dir, keyed by scenario. A non-empty
 // suffix keeps only scenarios ending in it and strips it from the key, so a
 // suffixed matrix slice (e.g. the _f32 cells) can be compared against its
-// unsuffixed baseline.
-func load(dir, suffix string) (map[string]*experiments.BenchResult, error) {
+// unsuffixed baseline. A non-empty fabric keeps only cells measured on that
+// transport — the committed references mix in-process w4 cells with
+// multi-process tcp w16/w32 cells, and a run covers one transport at a time.
+func load(dir, suffix, fabric string) (map[string]*experiments.BenchResult, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return nil, err
@@ -59,6 +62,9 @@ func load(dir, suffix string) (map[string]*experiments.BenchResult, error) {
 		}
 		if r.Scenario == "" {
 			return nil, fmt.Errorf("%s: missing scenario field", p)
+		}
+		if fabric != "" && r.Fabric != fabric {
+			continue
 		}
 		key := r.Scenario
 		if suffix != "" {
@@ -87,6 +93,7 @@ func main() {
 		aDir      = flag.String("a", "", "baseline directory (general two-directory form; overrides -ref)")
 		bDir      = flag.String("b", "", "candidate directory (general two-directory form; overrides -new)")
 		suffix    = flag.String("suffix", "", "keep only side-B scenarios with this suffix, rekeyed without it (e.g. _f32)")
+		fabric    = flag.String("fabric", "", "compare only cells measured on this transport (local, inproc, tcp; empty = all)")
 		stepTol   = flag.Float64("step-tol", 0.50, "allowed relative step-time increase (0.50 = +50%)")
 		allocsTol = flag.Float64("allocs-tol", 0.10, "allowed relative allocs/step increase beyond the absolute slack")
 		allocsAbs = flag.Float64("allocs-abs", 2, "absolute allocs/step slack before the relative tolerance applies")
@@ -101,12 +108,12 @@ func main() {
 	if *bDir != "" {
 		candidate = *bDir
 	}
-	ref, err := load(baseline, "")
+	ref, err := load(baseline, "", *fabric)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff: ref:", err)
 		os.Exit(2)
 	}
-	fresh, err := load(candidate, *suffix)
+	fresh, err := load(candidate, *suffix, *fabric)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff: new:", err)
 		os.Exit(2)
@@ -123,12 +130,12 @@ func main() {
 	sort.Strings(scenarios)
 
 	regressions := 0
-	fmt.Printf("%-28s %14s %14s %8s   %s\n", "scenario", "ref step", "new step", "Δ", "allocs ref→new")
+	fmt.Printf("%-32s %14s %14s %8s   %s\n", "scenario", "ref step", "new step", "Δ", "allocs ref→new")
 	for _, s := range scenarios {
 		n := fresh[s]
 		r, ok := ref[s]
 		if !ok {
-			fmt.Printf("%-28s %14s %14s %8s   (new scenario, no reference)\n", s, "—", "—", "—")
+			fmt.Printf("%-32s %14s %14s %8s   (new scenario, no reference)\n", s, "—", "—", "—")
 			continue
 		}
 		d := relDelta(r.StepTimeMeanNS, n.StepTimeMeanNS)
@@ -142,7 +149,7 @@ func main() {
 			mark += "  ← allocs regression"
 			regressions++
 		}
-		fmt.Printf("%-28s %11.2fms %11.2fms %+7.1f%%   %.1f→%.1f%s\n",
+		fmt.Printf("%-32s %11.2fms %11.2fms %+7.1f%%   %.1f→%.1f%s\n",
 			s, float64(r.StepTimeMeanNS)/1e6, float64(n.StepTimeMeanNS)/1e6, 100*d,
 			r.SteadyAllocsPerStep, n.SteadyAllocsPerStep, mark)
 	}
@@ -158,7 +165,7 @@ func main() {
 	}
 	sort.Strings(refOnly)
 	for _, s := range refOnly {
-		fmt.Printf("%-28s (reference scenario missing from this run)\n", s)
+		fmt.Printf("%-32s (reference scenario missing from this run)\n", s)
 	}
 
 	if regressions > 0 {
