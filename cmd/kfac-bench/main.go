@@ -65,6 +65,10 @@ Benchmark JSON mode:
   -cells        print the BENCH_<scenario> cell names the configured axes
                 emit, one per line, and exit (CI derives its artifact
                 asserts from this instead of a baked-in file list)
+  -eig          run the eigensolver microbenchmark instead of the step
+                matrix and write BENCH_eig.json (serial vs blocked vs
+                GOMAXPROCS-teamed at dims 256/1024/4096; -short shrinks
+                the ladder); carries its own schema, kfac-bench/eig/v1
 
 Common:
   -seed N       random seed (default 42)
@@ -77,6 +81,7 @@ Examples:
   kfac-bench -json -precision f32 -out bench-artifacts
   kfac-bench -json -fabric tcp -world 16 -out bench-artifacts
   kfac-bench -json -short -cells
+  kfac-bench -json -eig -out bench-artifacts
 `)
 }
 
@@ -93,6 +98,7 @@ func main() {
 		world    = flag.Int("world", 0, "dist_* axis world size (0 = fabric default)")
 		fabric   = flag.String("fabric", "inproc", "dist transport: inproc or tcp")
 		cells    = flag.Bool("cells", false, "print the cell names the configured axes emit and exit")
+		eig      = flag.Bool("eig", false, "eigensolver microbenchmark: write BENCH_eig.json (with -json)")
 		tcpRank  = flag.Int("tcp-rank", -1, "internal: TCP child rank (spawned by -fabric tcp)")
 		addrs    = flag.String("addrs", "", "internal: comma-separated TCP rank addresses")
 		seed     = flag.Int64("seed", 42, "random seed")
@@ -122,6 +128,12 @@ func main() {
 		for _, n := range names {
 			fmt.Println(n)
 		}
+	case *jsonMode && *eig:
+		path, err := experiments.RunEigBench(ctx, *outDir, *short, *seed)
+		if err != nil {
+			fail("bench-eig", err)
+		}
+		fmt.Println(path)
 	case *jsonMode && *tcpRank >= 0:
 		// Child of a -fabric tcp parent: one rank of the multi-process world.
 		err := experiments.RunBenchTCPChild(ctx, *outDir, *short, *seed, *world, *tcpRank,

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/tensor"
+)
+
+// EigBenchSchema identifies the BENCH_eig.json layout. Deliberately
+// distinct from BenchSchema: the eig microbenchmark is a kernel-level
+// cell, not a training-step scenario, and the step-schema tooling
+// (benchdiff, the CI artifact gate) skips files carrying this schema.
+const EigBenchSchema = "kfac-bench/eig/v1"
+
+// EigBenchResult is the JSON record of the eigensolver microbenchmark:
+// serial vs blocked (team 1) vs teamed (team GOMAXPROCS) across factor
+// dimensions.
+type EigBenchResult struct {
+	Schema   string `json:"schema"`
+	Scenario string `json:"scenario"` // always "eig"
+	// Environment, for comparing trajectories across hosts.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Seed       int64  `json:"seed"`
+	// Dims lists the benchmarked dimensions, Cells one entry per
+	// (dim, solver).
+	Dims  []int          `json:"dims"`
+	Cells []EigBenchCell `json:"cells"`
+}
+
+// EigBenchCell is one (dimension, solver) measurement.
+type EigBenchCell struct {
+	// Dim is the symmetric matrix dimension.
+	Dim int `json:"dim"`
+	// Solver is "serial" (linalg.SymEigInto), "blocked"
+	// (SymEigBlockedInto, team 1), or "teamed" (team GOMAXPROCS).
+	Solver string `json:"solver"`
+	// Team is the worker-team size the cell ran with (1 for serial).
+	Team int `json:"team"`
+	// Reps is the measurement repeat count; BestNS the fastest repeat.
+	Reps   int   `json:"reps"`
+	BestNS int64 `json:"best_ns"`
+	// GFlops is EigFLOPs(dim)/BestNS in GFLOP/s.
+	GFlops float64 `json:"gflops"`
+	// MaxAbsDiffVsSerial bounds the cell's eigenvalue disagreement with
+	// the serial oracle on the same input (0 for the serial cell itself) —
+	// a correctness tripwire embedded in the committed reference.
+	MaxAbsDiffVsSerial float64 `json:"max_abs_diff_vs_serial"`
+}
+
+// eigBenchDims returns the benchmarked dimensions: the documented
+// 256/1024/4096 ladder, or a small pair under -short for CI smoke.
+func eigBenchDims(short bool) []int {
+	if short {
+		return []int{64, 192}
+	}
+	return []int{256, 1024, 4096}
+}
+
+// eigBenchReps scales repeats down as cubically-growing dimensions make
+// single runs statistically stable (and slow).
+func eigBenchReps(dim int) int {
+	switch {
+	case dim <= 256:
+		return 3
+	case dim <= 1024:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// eigBenchMatrix builds the deterministic SPD test matrix for one
+// dimension — the same BᵀB + εI structure as a K-FAC covariance factor.
+func eigBenchMatrix(dim int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed + int64(dim)))
+	b := tensor.Randn(rng, 1, dim, dim)
+	m := tensor.MatMulT1(b, b)
+	for i := 0; i < dim; i++ {
+		m.Data[i*dim+i] += 0.1
+	}
+	return m
+}
+
+// RunEigBench measures the eigensolver ladder and writes BENCH_eig.json
+// into outDir, returning the file path. Each dimension runs the serial
+// oracle, the blocked solver on a single-worker team, and the blocked
+// solver with a full GOMAXPROCS team — the kfac eig scheduler's choice
+// for a rank whose load is one big factor. Cells respect ctx
+// cancellation between runs.
+func RunEigBench(ctx context.Context, outDir string, short bool, seed int64) (string, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return "", err
+	}
+	procs := runtime.GOMAXPROCS(0)
+	res := &EigBenchResult{
+		Schema:     EigBenchSchema,
+		Scenario:   "eig",
+		GoMaxProcs: procs,
+		GoVersion:  runtime.Version(),
+		Seed:       seed,
+		Dims:       eigBenchDims(short),
+	}
+	for _, dim := range res.Dims {
+		a := eigBenchMatrix(dim, seed)
+		reps := eigBenchReps(dim)
+		var serialVals []float64
+		for _, solver := range []struct {
+			name string
+			team int
+		}{
+			{"serial", 1},
+			{"blocked", 1},
+			{"teamed", procs},
+		} {
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+			var eg linalg.Eigen
+			best := int64(math.MaxInt64)
+			for rep := 0; rep < reps; rep++ {
+				t0 := time.Now()
+				var err error
+				if solver.name == "serial" {
+					err = linalg.SymEigInto(a, &eg)
+				} else {
+					err = linalg.SymEigBlockedInto(a, &eg, solver.team)
+				}
+				if err != nil {
+					return "", fmt.Errorf("eig bench dim %d %s: %w", dim, solver.name, err)
+				}
+				if d := time.Since(t0).Nanoseconds(); d < best {
+					best = d
+				}
+			}
+			var diff float64
+			if solver.name == "serial" {
+				serialVals = append([]float64(nil), eg.Values...)
+			} else {
+				for i, v := range eg.Values {
+					if d := math.Abs(v - serialVals[i]); d > diff {
+						diff = d
+					}
+				}
+			}
+			res.Cells = append(res.Cells, EigBenchCell{
+				Dim:                dim,
+				Solver:             solver.name,
+				Team:               solver.team,
+				Reps:               reps,
+				BestNS:             best,
+				GFlops:             linalg.EigFLOPs(dim) / float64(best),
+				MaxAbsDiffVsSerial: diff,
+			})
+		}
+	}
+	path := filepath.Join(outDir, "BENCH_eig.json")
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

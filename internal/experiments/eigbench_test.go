@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestRunEigBenchSchema runs the short eig microbenchmark end to end and
+// checks the committed-artifact contract: distinct schema (so step-schema
+// tooling skips the file), one serial/blocked/teamed cell per dimension,
+// sane timings, and eigenvalue agreement with the serial oracle.
+func TestRunEigBenchSchema(t *testing.T) {
+	dir := t.TempDir()
+	path, err := RunEigBench(context.Background(), dir, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res EigBenchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_eig.json does not parse: %v", err)
+	}
+	if res.Schema != EigBenchSchema {
+		t.Fatalf("schema = %q, want %q", res.Schema, EigBenchSchema)
+	}
+	if res.Schema == BenchSchema {
+		t.Fatal("eig schema must differ from the step-bench schema")
+	}
+	if res.Scenario != "eig" {
+		t.Fatalf("scenario = %q, want eig", res.Scenario)
+	}
+	if res.GoMaxProcs != runtime.GOMAXPROCS(0) || res.GoVersion == "" {
+		t.Fatalf("environment fields not recorded: %+v", res)
+	}
+	solvers := []string{"serial", "blocked", "teamed"}
+	if want := len(res.Dims) * len(solvers); len(res.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), want)
+	}
+	for i, c := range res.Cells {
+		dim := res.Dims[i/len(solvers)]
+		solver := solvers[i%len(solvers)]
+		if c.Dim != dim || c.Solver != solver {
+			t.Fatalf("cell %d = (%d, %s), want (%d, %s)", i, c.Dim, c.Solver, dim, solver)
+		}
+		if c.Team < 1 || c.Reps < 1 || c.BestNS <= 0 || c.GFlops <= 0 {
+			t.Fatalf("cell %d has degenerate measurements: %+v", i, c)
+		}
+		if c.Solver == "serial" && c.MaxAbsDiffVsSerial != 0 {
+			t.Fatalf("serial cell %d reports nonzero self-diff %g", i, c.MaxAbsDiffVsSerial)
+		}
+		// The blocked solver agrees with the oracle to round-off; anything
+		// past 1e-6 on these well-conditioned SPD inputs is a broken solver.
+		if c.MaxAbsDiffVsSerial > 1e-6 {
+			t.Fatalf("cell %d eigenvalues diverge from serial oracle by %g", i, c.MaxAbsDiffVsSerial)
+		}
+	}
+	// Cancelled contexts must stop the run between cells.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunEigBench(ctx, dir, true, 7); err == nil {
+		t.Fatal("cancelled RunEigBench returned nil error")
+	}
+}

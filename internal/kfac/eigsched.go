@@ -1,0 +1,171 @@
+package kfac
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// EigSolver selects the symmetric eigensolver behind EigenMode
+// decompositions.
+type EigSolver int
+
+const (
+	// EigBlocked (the default) is the blocked multi-threaded solver
+	// (linalg.SymEigBlockedInto): Level-3 Householder tridiagonalization
+	// with compact-WY trailing updates, parallel Q back-accumulation, and
+	// batched QL rotations, run with the per-factor worker team chosen by
+	// the eig scheduler. Bitwise deterministic across team sizes and runs.
+	EigBlocked EigSolver = iota
+	// EigSerial is the original single-threaded tred2/tql2 pair
+	// (linalg.SymEigInto), retained as the oracle — the escape hatch
+	// analogous to the purego build tag for the SIMD kernels.
+	EigSerial
+)
+
+// WithEigSolver selects the eigendecomposition implementation (default
+// EigBlocked). EigSerial restores the single-threaded solver as a
+// numerical oracle; the two differ only in round-off.
+func WithEigSolver(s EigSolver) Option { return func(o *Options) { o.EigSolver = s } }
+
+// EigTeamMinDim is the factor dimension below which a decomposition
+// always runs on a single-worker team: the blocked solver falls back to
+// the serial pair under linalg's own small-dimension threshold anyway,
+// and launch overhead would dominate any split.
+const EigTeamMinDim = 192
+
+// EigTeamSize decides the intra-factor worker team for decomposing one
+// factor of dimension dim on a rank with procs schedulable workers,
+// given rankLoad — the total eigendecomposition cost (linalg.EigFLOPs)
+// this rank owns under the active plan (Plan.WorkerLoads). The rule
+// splits procs between inter-factor parallelism and intra-factor teams
+// by cost share: a factor carrying the whole rank's load (the MEM-OPT
+// one-big-factor case) gets the full machine, a factor that is one of
+// many small ones gets a team of one and relies on the factor-level
+// fan-out. Deterministic — a pure function of its arguments — so every
+// rank computes identical team tables without communication.
+func EigTeamSize(dim, procs int, rankLoad float64) int {
+	if procs <= 1 || dim < EigTeamMinDim {
+		return 1
+	}
+	cost := linalg.EigFLOPs(dim)
+	if rankLoad < cost {
+		rankLoad = cost
+	}
+	t := int(cost / rankLoad * float64(procs))
+	if float64(t) < cost/rankLoad*float64(procs) {
+		t++ // ceil
+	}
+	if t < 1 {
+		t = 1
+	}
+	if t > procs {
+		t = procs
+	}
+	return t
+}
+
+// weightedSem is a counting semaphore with weighted acquisition: the
+// decomposition fan-out sizes each factor's hold to its team so that the
+// sum of concurrently running teams never exceeds the machine. Weights
+// above the capacity are clamped at acquire (a full-machine team then
+// simply runs alone). FIFO fairness is not guaranteed — the fan-out
+// sorts jobs largest-first and correctness does not depend on ordering.
+type weightedSem struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	avail int
+	cap   int
+}
+
+// newWeightedSem returns a semaphore with the given capacity (≥ 1).
+func newWeightedSem(capacity int) *weightedSem {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &weightedSem{avail: capacity, cap: capacity}
+	s.cond.L = &s.mu
+	return s
+}
+
+// acquire blocks until w units (clamped to the capacity) are available
+// and takes them. It returns the clamped weight for the matching release.
+func (s *weightedSem) acquire(w int) int {
+	if w < 1 {
+		w = 1
+	}
+	if w > s.cap {
+		w = s.cap
+	}
+	s.mu.Lock()
+	for s.avail < w {
+		s.cond.Wait()
+	}
+	s.avail -= w
+	s.mu.Unlock()
+	return w
+}
+
+// release returns w units taken by acquire.
+func (s *weightedSem) release(w int) {
+	s.mu.Lock()
+	s.avail += w
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// computeEigTeams derives each factor's decomposition team from the
+// active plan: factors are attributed to their owner rank, each rank's
+// total decomposition cost comes from WorkerLoads over the plan's
+// assignment, and every factor's team follows EigTeamSize against its
+// owner's load. Recorded into the per-layer state (consumed by
+// decomposeA/decomposeG) and surfaced through StageStats.EigTeams.
+// Called from replan, so the table tracks ownership changes.
+func (p *Preconditioner) computeEigTeams(procs int) {
+	refs := p.FactorRefs()
+	assign := make([]int, len(refs))
+	for i := range p.states {
+		lp := &p.plan.Layers[i]
+		assign[2*i] = lp.AOwner
+		assign[2*i+1] = lp.GOwner
+	}
+	loads := WorkerLoads(refs, assign, p.size())
+	teams := make([]EigTeamAssign, 0, len(refs))
+	for i, s := range p.states {
+		da, dg := FactorDims(s.layer)
+		s.aTeam = EigTeamSize(da, procs, loads[assign[2*i]])
+		s.gTeam = EigTeamSize(dg, procs, loads[assign[2*i+1]])
+		teams = append(teams,
+			EigTeamAssign{Layer: i, IsG: false, Dim: da, Team: s.aTeam},
+			EigTeamAssign{Layer: i, IsG: true, Dim: dg, Team: s.gTeam},
+		)
+	}
+	p.stats.recordEigTeams(teams)
+}
+
+// eigJob is one owned decomposition in the fan-out queue.
+type eigJob struct {
+	layer int
+	s     *layerState
+	isG   bool
+	dim   int
+	team  int
+}
+
+// sortEigJobs orders the fan-out largest-dimension-first (ties: layer,
+// then A before G) so big teamed factors start immediately and small
+// serial factors pack into the remaining slots — a longest-processing-
+// time schedule. Deterministic for reproducible stats and scheduling.
+func sortEigJobs(jobs []eigJob) {
+	sort.Slice(jobs, func(a, b int) bool {
+		ja, jb := jobs[a], jobs[b]
+		if ja.dim != jb.dim {
+			return ja.dim > jb.dim
+		}
+		if ja.layer != jb.layer {
+			return ja.layer < jb.layer
+		}
+		return !ja.isG && jb.isG
+	})
+}

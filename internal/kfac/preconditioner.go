@@ -3,6 +3,7 @@ package kfac
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/comm"
@@ -110,6 +111,11 @@ type Options struct {
 	// static Compression/FusionBytes/GroupSize fields from the first
 	// decision on. See autotune.go.
 	Autotune *AutotuneConfig
+	// EigSolver selects the EigenMode eigensolver (default EigBlocked, the
+	// blocked multi-threaded solver with per-factor worker teams;
+	// EigSerial restores the single-threaded tred2/tql2 oracle). The two
+	// agree to round-off and are each bitwise deterministic.
+	EigSolver EigSolver
 	// AutoPlanner, when non-nil with a Model, resolves DistMode == DistAuto
 	// through the cost-model planner instead of the legacy two-case rule:
 	// candidate (mode, frac, group-size) configurations are enumerated at
@@ -150,6 +156,10 @@ type layerState struct {
 	// Owner ranks for the A and G factors, mirrored from the active Plan
 	// (equal under LayerWise).
 	aWorker, gWorker int
+	// Intra-factor eigensolver team sizes, assigned by computeEigTeams
+	// from the plan's per-rank decomposition loads (1 = serial-in-parallel;
+	// purely a performance knob, results are team-independent).
+	aTeam, gTeam int
 	// Plan-scoped sub-communicators, rebuilt by replan; nil when the plan
 	// is fully replicated or the run is single-process. aRecvGroup and
 	// gRecvGroup carry a factor's decomposition from its owner to the
@@ -210,6 +220,9 @@ type Preconditioner struct {
 	// phase.
 	gradsBuf, precondsBuf []*tensor.Tensor
 	precondRg             precondRanger
+
+	// eigJobsBuf is the reused decomposition fan-out queue.
+	eigJobsBuf []eigJob
 }
 
 // New builds a preconditioner over every K-FAC-capturable layer of model
@@ -347,6 +360,7 @@ func (p *Preconditioner) replan() {
 			s.pcGroup = p.comm.Group(lp.BcastMembers)
 		}
 	}
+	p.computeEigTeams(runtime.GOMAXPROCS(0))
 	p.stats.noteFactorMem(p.factorMemBytes())
 }
 
@@ -545,17 +559,19 @@ func (p *Preconditioner) updateDecompositions() error {
 			s.pi = 1
 		}
 	}
+	jobs := p.eigJobsBuf[:0]
 	for i, s := range p.states {
+		da, dg := FactorDims(s.layer)
 		if !distributed || s.aWorker == mine {
-			if err := p.decomposeA(s); err != nil {
-				return fmt.Errorf("kfac: layer %d A: %w", i, err)
-			}
+			jobs = append(jobs, eigJob{layer: i, s: s, isG: false, dim: da, team: s.aTeam})
 		}
 		if !distributed || s.gWorker == mine {
-			if err := p.decomposeG(s); err != nil {
-				return fmt.Errorf("kfac: layer %d G: %w", i, err)
-			}
+			jobs = append(jobs, eigJob{layer: i, s: s, isG: true, dim: dg, team: s.gTeam})
 		}
+	}
+	p.eigJobsBuf = jobs[:0]
+	if err := p.runEigJobs(jobs); err != nil {
+		return err
 	}
 	p.stats.add(&p.stats.EigCompute, time.Since(start))
 	p.stats.mu.Lock()
@@ -575,6 +591,49 @@ func (p *Preconditioner) updateDecompositions() error {
 	p.stats.add(&p.stats.EigComm, time.Since(commStart))
 	p.stats.noteFactorMem(p.factorMemBytes())
 	return err
+}
+
+// runEigJobs executes this rank's owned decompositions. With one job or
+// one schedulable core it stays a plain serial loop (layer order); with
+// more, jobs launch largest-first over an error group, each holding its
+// team's worth of a GOMAXPROCS-weighted semaphore, so inter-factor
+// parallelism and intra-factor teams together never oversubscribe the
+// machine. Factor results are per-layer state, so ordering only shapes
+// wall time, never values.
+func (p *Preconditioner) runEigJobs(jobs []eigJob) error {
+	run := func(j eigJob) error {
+		if j.isG {
+			if err := p.decomposeG(j.s); err != nil {
+				return fmt.Errorf("kfac: layer %d G: %w", j.layer, err)
+			}
+			return nil
+		}
+		if err := p.decomposeA(j.s); err != nil {
+			return fmt.Errorf("kfac: layer %d A: %w", j.layer, err)
+		}
+		return nil
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if len(jobs) <= 1 || procs <= 1 {
+		for _, j := range jobs {
+			if err := run(j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sortEigJobs(jobs)
+	sem := newWeightedSem(procs)
+	var g sched.Group
+	for _, j := range jobs {
+		j := j
+		g.Go(func() error {
+			w := sem.acquire(j.team)
+			defer sem.release(w)
+			return run(j)
+		})
+	}
+	return g.Wait()
 }
 
 // broadcastDecompositions moves each owned factor's decomposition from its
@@ -657,7 +716,7 @@ func (p *Preconditioner) decomposeA(s *layerState) error {
 	}
 	// Refresh into the spare; swap in only on success so the previous
 	// decomposition survives a convergence failure.
-	if err := linalg.SymEigInto(s.A, s.eigSpareA); err != nil {
+	if err := p.symEig(s.A, s.eigSpareA, s.aTeam); err != nil {
 		return err
 	}
 	clampEigen(s.eigSpareA)
@@ -683,12 +742,31 @@ func (p *Preconditioner) decomposeG(s *layerState) error {
 	if s.eigSpareG == nil {
 		s.eigSpareG = &linalg.Eigen{}
 	}
-	if err := linalg.SymEigInto(s.G, s.eigSpareG); err != nil {
+	if err := p.symEig(s.G, s.eigSpareG, s.gTeam); err != nil {
 		return err
 	}
 	clampEigen(s.eigSpareG)
 	s.eigG, s.eigSpareG = s.eigSpareG, s.eigG
 	p.refreshF32G(s)
+	return nil
+}
+
+// symEig runs the configured eigensolver into eg: the blocked solver
+// with this factor's worker team (EigBlocked, the default), or the serial
+// oracle (EigSerial). Blocked runs report per-kernel wall time into
+// StageStats.
+func (p *Preconditioner) symEig(a *tensor.Tensor, eg *linalg.Eigen, team int) error {
+	if p.opts.EigSolver == EigSerial {
+		return linalg.SymEigInto(a, eg)
+	}
+	if team < 1 {
+		team = 1
+	}
+	var tm linalg.EigKernelTimes
+	if err := linalg.SymEigBlockedTimedInto(a, eg, team, &tm); err != nil {
+		return err
+	}
+	p.stats.addEigKernels(&tm)
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/linalg"
 )
 
 // StageStats accumulates wall-clock time per K-FAC pipeline stage of the
@@ -18,6 +20,15 @@ type StageStats struct {
 	EigCompute    time.Duration
 	EigComm       time.Duration
 	Precondition  time.Duration
+
+	// Per-kernel decomposition time of the blocked eigensolver, summed
+	// across factors (zero under EigSerial and for small factors on the
+	// serial fallback). EigCompute remains the fan-out's wall-clock; these
+	// are summed task time, so their total can exceed EigCompute when
+	// factors decompose concurrently.
+	EigTridiag   time.Duration
+	EigBackAccum time.Duration
+	EigQL        time.Duration
 
 	FactorUpdates int
 	EigUpdates    int
@@ -49,6 +60,38 @@ type StageStats struct {
 	// be deep-equal across ranks — the determinism suite asserts exactly
 	// that.
 	TuneDecisions []TuneDecision
+
+	// EigTeams records the eig scheduler's intra-factor team decision for
+	// every factor under the active plan, in FactorRefs order (layer-major,
+	// A before G); rewritten at every plan build. A pure function of
+	// (plan, GOMAXPROCS), identical across same-shaped ranks.
+	EigTeams []EigTeamAssign
+}
+
+// EigTeamAssign is one factor's decomposition team decision.
+type EigTeamAssign struct {
+	// Layer indexes the preconditioned layer; IsG selects the G factor.
+	Layer int
+	IsG   bool
+	// Dim is the factor dimension; Team the assigned worker-team size.
+	Dim  int
+	Team int
+}
+
+// recordEigTeams replaces the team table (called at every plan build).
+func (s *StageStats) recordEigTeams(teams []EigTeamAssign) {
+	s.mu.Lock()
+	s.EigTeams = teams
+	s.mu.Unlock()
+}
+
+// addEigKernels folds one blocked decomposition's per-kernel times in.
+func (s *StageStats) addEigKernels(tm *linalg.EigKernelTimes) {
+	s.mu.Lock()
+	s.EigTridiag += time.Duration(tm.TridiagNS)
+	s.EigBackAccum += time.Duration(tm.BackAccumNS)
+	s.EigQL += time.Duration(tm.QLNS)
+	s.mu.Unlock()
 }
 
 // recordTune appends one autotune decision.
@@ -83,6 +126,9 @@ func (s *StageStats) Snapshot() StageStats {
 		EigCompute:      s.EigCompute,
 		EigComm:         s.EigComm,
 		Precondition:    s.Precondition,
+		EigTridiag:      s.EigTridiag,
+		EigBackAccum:    s.EigBackAccum,
+		EigQL:           s.EigQL,
 		FactorUpdates:   s.FactorUpdates,
 		EigUpdates:      s.EigUpdates,
 		Steps:           s.Steps,
@@ -92,6 +138,7 @@ func (s *StageStats) Snapshot() StageStats {
 		PipelineUpdates: s.PipelineUpdates,
 		PeakFactorBytes: s.PeakFactorBytes,
 		TuneDecisions:   append([]TuneDecision(nil), s.TuneDecisions...),
+		EigTeams:        append([]EigTeamAssign(nil), s.EigTeams...),
 	}
 }
 
@@ -146,6 +193,11 @@ func (s *StageStats) String() string {
 		fc.Round(time.Microsecond), fm.Round(time.Microsecond), snap.FactorUpdates,
 		ec.Round(time.Microsecond), em.Round(time.Microsecond), snap.EigUpdates,
 		perStep.Round(time.Microsecond), snap.Steps)
+	if snap.EigTridiag+snap.EigBackAccum+snap.EigQL > 0 {
+		out += fmt.Sprintf(" | eig kernels tridiag=%v backaccum=%v ql=%v",
+			snap.EigTridiag.Round(time.Microsecond), snap.EigBackAccum.Round(time.Microsecond),
+			snap.EigQL.Round(time.Microsecond))
+	}
 	if snap.PipelineUpdates > 0 {
 		// Reuse the snapshot so the line is self-consistent even when
 		// sampled mid-step.

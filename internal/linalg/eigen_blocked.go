@@ -1,0 +1,803 @@
+// Blocked symmetric eigensolver: Level-3 Householder tridiagonalization in
+// the compact-WY representation, a parallel Q back-accumulation pass, and a
+// batched-rotation QL iteration. This is the multi-threaded counterpart of
+// the serial tred2/tql2 pair in eigen.go, built so that every parallel
+// partition is a fixed chunk grid whose elements are each produced by
+// exactly one chunk with a fixed serial reduction order — the
+// sched.Pool.ForEach contract — making the result bitwise identical across
+// repeated calls, team sizes, and GOMAXPROCS settings.
+//
+// Structure (for an n×n symmetric input, panel width b = eigBlock):
+//
+//  1. Blocked tridiagonalization. Columns are reduced in panels of width b.
+//     Within a panel, column j's Householder reflector v_j and the product
+//     w_j = τ(A v_j − V Wᵀv_j − W Vᵀv_j) − ½τ²(v_jᵀ·)v_j are accumulated
+//     into a combined U = [V|W] panel; only the panel's own columns are
+//     updated eagerly. The trailing matrix then receives one symmetric
+//     rank-2b update A ← A − VWᵀ − WVᵀ, expressed as a single pooled
+//     tensor.MatMulT2Into GEMM S = U·[W|V]ᵀ followed by a chunked
+//     subtraction — the Level-3 step that carries ~2/3 of the reduction's
+//     flops.
+//  2. Q back-accumulation. Q is formed from the stored reflectors (kept in
+//     the reduced matrix's lower triangle, LAPACK-style) panel by panel in
+//     reverse, Q ← (I − V T Vᵀ)Q, with the small triangular T rebuilt per
+//     panel and the three GEMV/GEMM phases fused into one column-chunked
+//     parallel pass over the active bottom-right window.
+//  3. Batched QL. The scalar shift/rotation recurrence of tql2 — which
+//     touches only the tridiagonal d/e arrays — runs serially and records
+//     each sweep's rotation cosines/sines; the accumulated rotations are
+//     then applied to Q's rows in a row-chunked parallel pass whose
+//     per-row carry chain performs arithmetic identical to tql2's
+//     column-strided loop (see rotSweepRow). The final eigenvalue sort
+//     computes its column permutation serially and applies it in one
+//     row-chunked pass.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+const (
+	// eigBlock is the panel width b of the blocked tridiagonalization and
+	// the back-accumulation. 32 keeps one U=[V|W] panel row (2b float64s)
+	// inside a cache line multiple and the rank-2b GEMM dots long enough
+	// for the pooled kernels to run at full throughput.
+	eigBlock = 32
+
+	// eigBlockedMinDim is the dimension below which the blocked solver
+	// falls back to the serial tred2/tql2 pair: small factors are
+	// launch-overhead bound, and the serial pair wins outright. The
+	// fallback ignores the team parameter entirely, so the determinism
+	// contract (same bits for every team size) holds trivially there.
+	eigBlockedMinDim = 128
+)
+
+// eigArena pools the blocked solver's workspaces — the reduced matrix copy
+// (whose lower triangle stores the Householder vectors), the U=[V|W] and
+// column-swapped panels, the rank-2b update buffer, and the
+// rotation/permutation scratch — so steady-state redecomposition performs
+// no heap allocation. Checkouts are balanced per call (Get/Put), never
+// Reset, so concurrent decompositions (the pipelined engine, intra-step
+// factor teams) share the arena safely.
+var eigArena = tensor.NewArena()
+
+// EigKernelTimes accumulates the per-kernel wall time of one or more
+// blocked eigendecompositions, in nanoseconds. The K-FAC engines surface
+// these through StageStats so the stage profile shows where
+// decomposition time goes, not just its total.
+type EigKernelTimes struct {
+	// TridiagNS is the blocked Householder reduction (panel factorization
+	// plus trailing rank-2b GEMM updates).
+	TridiagNS int64
+	// BackAccumNS is the compact-WY Q back-accumulation.
+	BackAccumNS int64
+	// QLNS is the implicit-shift QL iteration with batched rotation
+	// application, including the final eigenvalue sort.
+	QLNS int64
+}
+
+// Add folds other's counters into tm.
+func (tm *EigKernelTimes) Add(other *EigKernelTimes) {
+	tm.TridiagNS += other.TridiagNS
+	tm.BackAccumNS += other.BackAccumNS
+	tm.QLNS += other.QLNS
+}
+
+// TotalNS returns the summed kernel time.
+func (tm *EigKernelTimes) TotalNS() int64 {
+	return tm.TridiagNS + tm.BackAccumNS + tm.QLNS
+}
+
+// SymEigBlockedInto computes the eigendecomposition of symmetric matrix a
+// into eg using the blocked multi-threaded solver with the given worker
+// team size. The input is not modified; asymmetry up to round-off is
+// tolerated (the routine operates on (A+Aᵀ)/2, exactly as SymEigInto).
+//
+// team bounds the chunk grid of the solver's internal parallel passes:
+// team ≤ 1 runs every pass inline on the calling goroutine, team > 1
+// dispatches over the shared scheduler pool. The result is bitwise
+// IDENTICAL for every team value — partitions are fixed chunk grids whose
+// output elements are each written by exactly one chunk with a fixed
+// reduction order — so team is purely a performance knob. Concurrent calls
+// on distinct Eigen targets are safe.
+func SymEigBlockedInto(a *tensor.Tensor, eg *Eigen, team int) error {
+	return SymEigBlockedTimedInto(a, eg, team, nil)
+}
+
+// SymEigBlockedTimedInto is SymEigBlockedInto accumulating per-kernel wall
+// times into tm (when non-nil). The fallback serial path below
+// eigBlockedMinDim reports its entire cost as QL time zero and tridiag
+// time zero — by convention only the blocked kernels are itemized.
+func SymEigBlockedTimedInto(a *tensor.Tensor, eg *Eigen, team int, tm *EigKernelTimes) error {
+	n := a.Rows()
+	if a.Cols() != n {
+		return fmt.Errorf("linalg: SymEig requires square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	for _, x := range a.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("linalg: SymEig input contains NaN/Inf")
+		}
+	}
+	v := tensor.Ensure(&eg.Q, n, n)
+	if n == 0 {
+		eg.Values = eg.Values[:0]
+		return nil
+	}
+	eg.Values = ensureFloats(eg.Values, n)
+	eg.scratch = ensureFloats(eg.scratch, n)
+	d, e := eg.Values, eg.scratch
+	if n < eigBlockedMinDim {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v.Data[i*n+j] = 0.5 * (a.Data[i*n+j] + a.Data[j*n+i])
+			}
+		}
+		tred2(v.Data, n, d, e)
+		return tql2(v.Data, n, d, e)
+	}
+	if team < 1 {
+		team = 1
+	}
+
+	ws := eigWSPool.Get().(*eigWS)
+	ws.team = team
+	A := eigArena.Get(n, n)
+	S := eigArena.Get(n, n)
+	U := eigArena.Get(n, 2*eigBlock)
+	C := eigArena.Get(n, 2*eigBlock)
+	tauT := eigArena.Get(n)
+	workT := eigArena.Get(4 * n)
+	defer func() {
+		ws.clear()
+		eigWSPool.Put(ws)
+		eigArena.Put(A)
+		eigArena.Put(S)
+		eigArena.Put(U)
+		eigArena.Put(C)
+		eigArena.Put(tauT)
+		eigArena.Put(workT)
+	}()
+
+	// Symmetrized working copy; a is left untouched.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			A.Data[i*n+j] = 0.5 * (a.Data[i*n+j] + a.Data[j*n+i])
+		}
+	}
+
+	start := time.Now()
+	ws.blockedTridiag(A.Data, S, U, C, n, d, e, tauT.Data, workT.Data)
+	tTri := time.Now()
+	identityInto(v.Data, n)
+	ws.backAccumulate(v.Data, A.Data, n, tauT.Data, U.Data, C.Data, S.Data)
+	tAcc := time.Now()
+	err := ws.batchedQL(v.Data, n, d, e, workT.Data, A.Data)
+	if tm != nil {
+		tm.TridiagNS += tTri.Sub(start).Nanoseconds()
+		tm.BackAccumNS += tAcc.Sub(tTri).Nanoseconds()
+		tm.QLNS += time.Since(tAcc).Nanoseconds()
+	}
+	return err
+}
+
+// eigWS carries the reusable non-tensor state of one blocked
+// decomposition: the ranger structs the parallel passes dispatch through
+// (each with its own WaitGroup, reused across dispatches), the view
+// headers handed to the pooled GEMM, and the sort permutation buffer. A
+// sync.Pool recycles them so steady-state solves allocate nothing.
+type eigWS struct {
+	team int
+
+	// View headers over arena storage for the trailing-update GEMM.
+	sv, uv, cv tensor.Tensor
+
+	xr xPassRanger
+	tr trailRanger
+	ar accumRanger
+	rr rotRanger
+	pr permRanger
+
+	perm []int
+}
+
+var eigWSPool = sync.Pool{New: func() any { return &eigWS{} }}
+
+// clear drops the slice references the rangers and views captured so a
+// pooled workspace does not pin arena storage class membership decisions
+// to stale shapes.
+func (ws *eigWS) clear() {
+	ws.sv.Data, ws.uv.Data, ws.cv.Data = nil, nil, nil
+	ws.xr = xPassRanger{}
+	ws.tr = trailRanger{}
+	ws.ar = accumRanger{}
+	ws.rr = rotRanger{}
+	ws.pr = permRanger{}
+}
+
+// run executes r over [0,m) — inline when the team is 1 (or the range
+// trivial), else as a team-wide ForEach over the shared pool. Both paths
+// produce identical bits: every output element belongs to exactly one
+// chunk and is computed with a fixed serial reduction order, so the chunk
+// grid (and hence team) cannot affect results.
+func (ws *eigWS) run(m int, r sched.Ranger, wg *sync.WaitGroup) {
+	if ws.team <= 1 || m < 2 {
+		r.RunRange(0, m)
+		return
+	}
+	sched.Shared().ForEach(m, ws.team, r, wg)
+}
+
+// identityInto writes the n×n identity.
+func identityInto(q []float64, n int) {
+	for i := range q[:n*n] {
+		q[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		q[i*n+i] = 1
+	}
+}
+
+// eigDot4 is a fixed-order dot product with four partial accumulators (the
+// same reduction shape as the pooled kernels' dotUnroll): the serial order
+// is a pure function of the slice length, never of the caller's chunk
+// grid, which is what keeps chunked passes bitwise reproducible.
+func eigDot4(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// blockedTridiag reduces the symmetric matrix in A (row-major n×n) to
+// tridiagonal form by blocked Householder similarity transformations.
+// On return the diagonal and subdiagonal of A hold the tridiagonal form
+// (extracted into d and e), A's strict lower triangle below the
+// subdiagonal holds the normalized Householder vectors (v[0]=1 implicit on
+// the subdiagonal row), and tau[j] the reflector scale of column j — the
+// LAPACK dsytrd storage convention back-accumulation consumes.
+func (ws *eigWS) blockedTridiag(A []float64, S, U, C *tensor.Tensor, n int, d, e, tau []float64, work []float64) {
+	const b = eigBlock
+	hv := work[0:n]
+	x := work[n : 2*n]
+	tmp1 := work[2*n : 3*n] // Wᵀv over the panel's prior columns
+	tmp2 := work[3*n : 4*n] // Vᵀv over the panel's prior columns
+
+	for j0 := 0; j0 < n-2; {
+		w := b
+		if j0+w > n-2 {
+			w = n - 2 - j0
+		}
+		mt := n - 1 - j0 // panel rows: j0+1 .. n-1
+		uz := U.Data[:mt*2*b]
+		for i := range uz {
+			uz[i] = 0
+		}
+
+		for jj := 0; jj < w; jj++ {
+			j := j0 + jj
+			m := n - 1 - j // reflector length: rows j+1 .. n-1
+
+			// Apply the panel's previous reflector pairs to the stored
+			// column j (rows j..n-1): A[p,j] −= V[p,:]·W[j,:]ᵀ + W[p,:]·V[j,:]ᵀ.
+			// Row j is U panel row jj-1.
+			if jj > 0 {
+				vj := U.Data[(jj-1)*2*b : (jj-1)*2*b+jj]
+				wj := U.Data[(jj-1)*2*b+b : (jj-1)*2*b+b+jj]
+				for r := jj - 1; r < mt; r++ {
+					urow := U.Data[r*2*b:]
+					A[(j0+1+r)*n+j] -= eigDot(urow[:jj], wj) + eigDot(urow[b:b+jj], vj)
+				}
+			}
+
+			// Householder reflector for A[j+1:n, j], with the same
+			// sum-of-absolute-values scaling discipline as tred2.
+			scale := 0.0
+			for i := 0; i < m; i++ {
+				scale += math.Abs(A[(j+1+i)*n+j])
+			}
+			if scale == 0 {
+				// Zero column: H = I. Store v = e1 so back-accumulation
+				// reads a well-defined (and, with τ=0, inert) reflector.
+				tau[j] = 0
+				U.Data[jj*2*b+jj] = 1
+				continue
+			}
+			h := 0.0
+			for i := 0; i < m; i++ {
+				val := A[(j+1+i)*n+j] / scale
+				hv[i] = val
+				h += val * val
+			}
+			f := hv[0]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			hh := h - f*g // = uᵀu/2 for u = (f−g, a₁, …)
+			u0 := f - g   // no cancellation: f and g have opposite signs
+			tau[j] = u0 * u0 / hh
+			inv := 1 / u0
+			hv[0] = 1
+			for i := 1; i < m; i++ {
+				hv[i] *= inv
+			}
+			A[(j+1)*n+j] = scale * g // the subdiagonal entry e[j+1]
+			for i := 1; i < m; i++ {
+				A[(j+1+i)*n+j] = hv[i]
+			}
+			U.Data[jj*2*b+jj] = 1
+			for i := 1; i < m; i++ {
+				U.Data[(jj+i)*2*b+jj] = hv[i]
+			}
+
+			// tmp1 = Wᵀv, tmp2 = Vᵀv (serial: O(m·jj), ~2% of the panel).
+			for l := 0; l < jj; l++ {
+				tmp1[l] = 0
+				tmp2[l] = 0
+			}
+			if jj > 0 {
+				for i := 0; i < m; i++ {
+					vi := hv[i]
+					if vi == 0 {
+						continue
+					}
+					urow := U.Data[(jj+i)*2*b:]
+					eigAxpy(tmp2[:jj], urow[:jj], vi)
+					eigAxpy(tmp1[:jj], urow[b:b+jj], vi)
+				}
+			}
+
+			// x = (A − VWᵀ − WVᵀ)·v: chunked row dots over the trailing
+			// rows, the prior-column corrections folded into each row's
+			// owner chunk.
+			ws.xr.A, ws.xr.U = A, U.Data
+			ws.xr.v, ws.xr.x, ws.xr.tmp1, ws.xr.tmp2 = hv[:m], x, tmp1, tmp2
+			ws.xr.n, ws.xr.j, ws.xr.jj = n, j, jj
+			ws.run(m, &ws.xr, &ws.xr.wg)
+
+			// w = τx − ½τ²(xᵀv)·v, stored as W column jj.
+			t := tau[j]
+			xv := eigDot(x[:m], hv[:m])
+			beta := 0.5 * t * t * xv
+			for i := 0; i < m; i++ {
+				U.Data[(jj+i)*2*b+b+jj] = t*x[i] - beta*hv[i]
+			}
+		}
+
+		// Trailing symmetric rank-2w update on rows/cols ≥ j0+w:
+		// A ← A − VWᵀ − WVᵀ, expressed as ONE pooled GEMM S = U·Cᵀ with
+		// C = [W|V] (the column-swapped panel, so the single product sums
+		// both terms), then a chunked per-row subtraction.
+		rcount := mt - w + 1 // U rows w-1 .. mt-1 ↔ A rows j0+w .. n-1
+		base := (w - 1) * 2 * b
+		usl := U.Data[base : mt*2*b]
+		csl := C.Data[base : mt*2*b]
+		for r := 0; r < rcount; r++ {
+			ur := usl[r*2*b:]
+			cr := csl[r*2*b:]
+			for l := 0; l < b; l++ {
+				cr[l] = ur[b+l]
+				cr[b+l] = ur[l]
+			}
+		}
+		ws.uv.Shape = append(ws.uv.Shape[:0], rcount, 2*b)
+		ws.uv.Data = usl
+		ws.cv.Shape = append(ws.cv.Shape[:0], rcount, 2*b)
+		ws.cv.Data = csl
+		ws.sv.Shape = append(ws.sv.Shape[:0], rcount, rcount)
+		ws.sv.Data = S.Data[:rcount*rcount]
+		tensor.MatMulT2Into(&ws.sv, &ws.uv, &ws.cv)
+
+		ws.tr.A, ws.tr.S = A, S.Data
+		ws.tr.n, ws.tr.off, ws.tr.m = n, j0+w, rcount
+		ws.run(rcount, &ws.tr, &ws.tr.wg)
+
+		j0 += w
+	}
+
+	d[0] = A[0]
+	e[0] = 0
+	for i := 1; i < n; i++ {
+		d[i] = A[i*n+i]
+		e[i] = A[i*n+i-1]
+	}
+}
+
+// xPassRanger computes x[i] = dot(A row j+1+i over cols j+1..n-1, v) minus
+// the panel's prior-column corrections, one trailing row per element —
+// each x element owned by exactly one chunk.
+type xPassRanger struct {
+	wg         sync.WaitGroup
+	A, U       []float64
+	v, x       []float64
+	tmp1, tmp2 []float64
+	n, j, jj   int
+}
+
+// RunRange implements sched.Ranger.
+func (r *xPassRanger) RunRange(lo, hi int) {
+	const b = eigBlock
+	n, j, jj := r.n, r.j, r.jj
+	for i := lo; i < hi; i++ {
+		p := j + 1 + i
+		row := r.A[p*n+j+1 : p*n+n]
+		acc := eigDot(row, r.v)
+		if jj > 0 {
+			urow := r.U[(jj+i)*2*b:]
+			acc -= eigDot(urow[:jj], r.tmp1) + eigDot(urow[b:b+jj], r.tmp2)
+		}
+		r.x[i] = acc
+	}
+}
+
+// trailRanger subtracts the rank-2w product S from the trailing block of A
+// (rows/cols off..off+m-1), one matrix row per range element.
+type trailRanger struct {
+	wg        sync.WaitGroup
+	A, S      []float64
+	n, off, m int
+}
+
+// RunRange implements sched.Ranger.
+func (r *trailRanger) RunRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		p := r.off + i
+		arow := r.A[p*r.n+r.off : p*r.n+r.off+r.m]
+		srow := r.S[i*r.m : (i+1)*r.m]
+		for q := range arow {
+			arow[q] -= srow[q]
+		}
+	}
+}
+
+// backAccumulate forms the tridiagonalization's orthogonal Q in q (n×n,
+// entered as identity) from the Householder vectors stored in A's lower
+// triangle, applying the compact-WY panels in reverse: Q ← (I − V T Vᵀ)Q.
+// V is repacked per panel into vbuf (stride eigBlock), T is rebuilt
+// serially (small), and the V/T/Q products run as one fused column-chunked
+// pass over the active bottom-right window. mbuf provides the two mt×b
+// intermediates; tbuf the T triangle.
+func (ws *eigWS) backAccumulate(q, A []float64, n int, tau, vbuf, mbuf, tbuf []float64) {
+	const b = eigBlock
+	for j0 := (n - 3) / b * b; j0 >= 0; j0 -= b {
+		w := b
+		if j0+w > n-2 {
+			w = n - 2 - j0
+		}
+		mt := n - 1 - j0
+
+		// Pack V (mt×b row-major): row r ↔ A row j0+1+r; unit diagonal,
+		// stored components below, zero elsewhere. Row-wise contiguous
+		// reads from A's lower triangle.
+		for r := 0; r < mt; r++ {
+			vr := vbuf[r*b : (r+1)*b]
+			lim := r + 1
+			if lim > w {
+				lim = w
+			}
+			arow := A[(j0+1+r)*n+j0:]
+			for l := 0; l < lim; l++ {
+				if l == r {
+					vr[l] = 1
+				} else {
+					vr[l] = arow[l]
+				}
+			}
+			for l := lim; l < b; l++ {
+				vr[l] = 0
+			}
+		}
+
+		// T (w×w upper triangular, forward columnwise): T[k,k] = τ_k,
+		// T[0:k,k] = −τ_k·T(0:k,0:k)·(V[:,0:k]ᵀ v_k). Serial — O(w²·mt)
+		// against the panel's O(w·mt²) apply.
+		T := tbuf[:w*w]
+		y := tbuf[w*w : w*w+w]
+		for k := 0; k < w; k++ {
+			tk := tau[j0+k]
+			for l := 0; l < k; l++ {
+				y[l] = 0
+			}
+			for r := k; r < mt; r++ {
+				vr := vbuf[r*b:]
+				vk := vr[k]
+				if vk == 0 {
+					continue
+				}
+				eigAxpy(y[:k], vr[:k], vk)
+			}
+			for l := 0; l < k; l++ {
+				T[l*w+k] = -tk * eigDot(T[l*w+l:l*w+k], y[l:k])
+			}
+			T[k*w+k] = tk
+		}
+
+		ws.ar.q, ws.ar.V, ws.ar.T = q, vbuf, T
+		ws.ar.M1, ws.ar.M2 = mbuf[:n*b], mbuf[n*b:2*n*b]
+		ws.ar.n, ws.ar.j0, ws.ar.mt, ws.ar.w = n, j0, mt, w
+		ws.run(mt, &ws.ar, &ws.ar.wg)
+	}
+}
+
+// accumRanger applies one compact-WY panel to a column range of Q's active
+// window: M1 = VᵀQ, M2 = T·M1, Q ← Q − V·M2, all three phases fused per
+// chunk. M1/M2 are stored transposed (one contiguous b-row per Q column)
+// and every element — including the updated Q entries — is owned by
+// exactly one column chunk.
+type accumRanger struct {
+	wg           sync.WaitGroup
+	q, V, T      []float64
+	M1, M2       []float64
+	n, j0, mt, w int
+}
+
+// RunRange implements sched.Ranger over Q's active-window columns.
+func (r *accumRanger) RunRange(clo, chi int) {
+	const b = eigBlock
+	off := r.j0 + 1
+	for c := clo; c < chi; c++ {
+		m1 := r.M1[c*b : c*b+r.w]
+		for k := range m1 {
+			m1[k] = 0
+		}
+	}
+	for rr := 0; rr < r.mt; rr++ {
+		vrow := r.V[rr*b:]
+		qrow := r.q[(off+rr)*r.n+off:]
+		lim := rr + 1
+		if lim > r.w {
+			lim = r.w
+		}
+		for c := clo; c < chi; c++ {
+			x := qrow[c]
+			if x == 0 {
+				continue // Q is identity-sparse in the early panels
+			}
+			eigAxpy(r.M1[c*b:c*b+lim], vrow[:lim], x)
+		}
+	}
+	for c := clo; c < chi; c++ {
+		m1 := r.M1[c*b:]
+		m2 := r.M2[c*b:]
+		for k := 0; k < r.w; k++ {
+			m2[k] = eigDot(r.T[k*r.w+k:(k+1)*r.w], m1[k:r.w])
+		}
+	}
+	for rr := 0; rr < r.mt; rr++ {
+		vrow := r.V[rr*b:]
+		qrow := r.q[(off+rr)*r.n+off:]
+		lim := rr + 1
+		if lim > r.w {
+			lim = r.w
+		}
+		for c := clo; c < chi; c++ {
+			qrow[c] -= eigDot(vrow[:lim], r.M2[c*b:c*b+lim])
+		}
+	}
+}
+
+// batchedQL runs tql2's implicit-shift QL iteration with the rotation
+// application to Q batched: the scalar recurrence (d/e only) is byte-for-
+// byte the serial algorithm and records each sweep's Givens pairs, which a
+// row-chunked parallel pass then applies with per-row arithmetic identical
+// to the serial column loop. qtmp (n×n) is the sort scratch.
+func (ws *eigWS) batchedQL(v []float64, n int, d, e []float64, work, qtmp []float64) error {
+	cs := work[:n]
+	sn := work[n : 2*n]
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f := 0.0
+	tst1 := 0.0
+	const eps = 2.220446049250313e-16 // 2^-52
+	for l := 0; l < n; l++ {
+		if t := math.Abs(d[l]) + math.Abs(e[l]); t > tst1 {
+			tst1 = t
+		}
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter > maxQLIter {
+					return ErrNoConvergence
+				}
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+
+				p = d[m]
+				c := 1.0
+				c2, c3 := c, c
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					cs[m-1-i] = c
+					sn[m-1-i] = s
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+
+				ws.rr.q, ws.rr.cs, ws.rr.sn = v, cs, sn
+				ws.rr.n, ws.rr.l, ws.rr.m = n, l, m
+				ws.run(n, &ws.rr, &ws.rr.wg)
+
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+
+	// Sort eigenvalues ascending. The selection scan and d swaps are the
+	// serial tql2 code; the column permutation is recorded and applied to
+	// Q in one row-chunked pass instead of per-swap column walks.
+	if cap(ws.perm) < n {
+		ws.perm = make([]int, n)
+	}
+	perm := ws.perm[:n]
+	for i := range perm {
+		perm[i] = i
+	}
+	changed := false
+	for i := 0; i < n-1; i++ {
+		k := i
+		p := d[i]
+		for j := i + 1; j < n; j++ {
+			if d[j] < p {
+				k = j
+				p = d[j]
+			}
+		}
+		if k != i {
+			d[k] = d[i]
+			d[i] = p
+			perm[i], perm[k] = perm[k], perm[i]
+			changed = true
+		}
+	}
+	if changed {
+		ws.pr.q, ws.pr.tmp, ws.pr.perm = v, qtmp, perm
+		ws.pr.n = n
+		ws.run(n, &ws.pr, &ws.pr.wg)
+	}
+	return nil
+}
+
+// rotRanger applies one QL sweep's recorded rotation sequence to a range
+// of Q's rows. Within a chunk, rows advance four at a time — four
+// independent carry chains hide the floating-point latency the serial
+// column-strided loop exposes — and each row's arithmetic is exactly the
+// serial recurrence, so grouping cannot change bits.
+type rotRanger struct {
+	wg      sync.WaitGroup
+	q       []float64
+	cs, sn  []float64
+	n, l, m int
+}
+
+// RunRange implements sched.Ranger over Q's rows.
+func (r *rotRanger) RunRange(lo, hi int) {
+	nrot := r.m - r.l
+	k := lo
+	for ; k+4 <= hi; k += 4 {
+		rotRows4(
+			r.q[k*r.n+r.l:k*r.n+r.m+1],
+			r.q[(k+1)*r.n+r.l:(k+1)*r.n+r.m+1],
+			r.q[(k+2)*r.n+r.l:(k+2)*r.n+r.m+1],
+			r.q[(k+3)*r.n+r.l:(k+3)*r.n+r.m+1],
+			r.cs, r.sn, nrot)
+	}
+	for ; k < hi; k++ {
+		rotRow(r.q[k*r.n+r.l:k*r.n+r.m+1], r.cs, r.sn, nrot)
+	}
+}
+
+// rotSweepRow applies rotations t = 0..nrot-1 (rotation t acts on columns
+// (m-1-t, m-t), recorded in generation order) to one row segment
+// sub = Q[row][l..m]. The carry-chain form is algebraically AND bitwise
+// the serial tql2 update: h is the running value of the right column, and
+// each step's two writes match the serial pair exactly.
+func rotSweepRow(sub, cs, sn []float64, nrot int) {
+	carry := sub[nrot]
+	for t := 0; t < nrot; t++ {
+		p := nrot - 1 - t
+		x := sub[p]
+		c, s := cs[t], sn[t]
+		sub[p+1] = s*x + c*carry
+		carry = c*x - s*carry
+	}
+	sub[0] = carry
+}
+
+// rotSweepRow4 is rotSweepRow over four rows in lockstep: identical
+// per-row arithmetic, but four independent dependency chains keep the FPU
+// pipeline full (~2.6× the single-row throughput in the scalar build).
+func rotSweepRow4(a0, a1, a2, a3, cs, sn []float64, nrot int) {
+	k0, k1, k2, k3 := a0[nrot], a1[nrot], a2[nrot], a3[nrot]
+	for t := 0; t < nrot; t++ {
+		p := nrot - 1 - t
+		c, s := cs[t], sn[t]
+		x0 := a0[p]
+		a0[p+1] = s*x0 + c*k0
+		k0 = c*x0 - s*k0
+		x1 := a1[p]
+		a1[p+1] = s*x1 + c*k1
+		k1 = c*x1 - s*k1
+		x2 := a2[p]
+		a2[p+1] = s*x2 + c*k2
+		k2 = c*x2 - s*k2
+		x3 := a3[p]
+		a3[p+1] = s*x3 + c*k3
+		k3 = c*x3 - s*k3
+	}
+	a0[0], a1[0], a2[0], a3[0] = k0, k1, k2, k3
+}
+
+// permRanger applies the eigenvalue sort's column permutation to a range
+// of Q's rows: each row is permuted into its slot of the shared scratch
+// and copied back — rows are chunk-owned, so the pass is deterministic
+// for any grid.
+type permRanger struct {
+	wg     sync.WaitGroup
+	q, tmp []float64
+	perm   []int
+	n      int
+}
+
+// RunRange implements sched.Ranger over Q's rows.
+func (r *permRanger) RunRange(lo, hi int) {
+	for k := lo; k < hi; k++ {
+		row := r.q[k*r.n : (k+1)*r.n]
+		trow := r.tmp[k*r.n : (k+1)*r.n]
+		for j := 0; j < r.n; j++ {
+			trow[j] = row[r.perm[j]]
+		}
+		copy(row, trow)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package linalg
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, where sync.Pool deliberately drops a fraction of Puts and
+// allocation-count assertions cannot hold.
+const raceEnabled = true

@@ -1,0 +1,38 @@
+package linalg
+
+// Dispatch variables for the float64 kernel primitives of the blocked
+// eigensolver. The portable scalar implementations below are the defaults;
+// simd_amd64.go swaps in AVX2+FMA versions at init when the CPU and OS
+// support them (and the build is not -tags purego).
+//
+// Determinism note: the dispatch is global per process, so every chunk of
+// every parallel pass uses the same kernel — results stay bitwise
+// identical across team sizes and repeated runs within a build. The one
+// kernel whose INPUT GROUPING depends on the chunk grid is the QL
+// rotation sweep (rows are processed four at a time within a chunk, with
+// a single-row remainder): its packed and single-row variants must
+// therefore produce identical bits per row, which is why the AVX dispatch
+// pairs rotRows4AVX with the math.FMA-matched scalar rotSweepRowFMA
+// rather than the plain mul/add rotSweepRow.
+var (
+	// eigDot is the fixed-order inner product.
+	eigDot func(a, b []float64) float64 = eigDot4
+	// eigAxpy computes dst[i] += a*src[i].
+	eigAxpy func(dst, src []float64, a float64) = eigAxpyGeneric
+	// rotRows4 applies a recorded rotation sweep to four rows in lockstep.
+	rotRows4 func(a0, a1, a2, a3, cs, sn []float64, nrot int) = rotSweepRow4
+	// rotRow applies a recorded rotation sweep to one row; must be
+	// bitwise-compatible with rotRows4 (see determinism note above).
+	rotRow func(sub, cs, sn []float64, nrot int) = rotSweepRow
+
+	// eigKernelISA names the active float64 kernel set ("generic" or
+	// "avx2+fma"); surfaced by tests and benchmarks.
+	eigKernelISA = "generic"
+)
+
+// eigAxpyGeneric is the portable dst += a*src.
+func eigAxpyGeneric(dst, src []float64, a float64) {
+	for i, s := range src {
+		dst[i] += a * s
+	}
+}

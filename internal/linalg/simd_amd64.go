@@ -1,0 +1,80 @@
+//go:build amd64 && !purego
+
+package linalg
+
+import "math"
+
+// AVX2+FMA implementations of the blocked eigensolver's float64 kernel
+// primitives (simd_amd64.s), swapped into the dispatch variables at init
+// when the CPU and OS support them. Build with -tags purego to keep the
+// portable scalar path on any hardware. The feature probe mirrors
+// internal/tensor's: CPUID AVX2+FMA plus OS-enabled YMM state.
+
+//go:noescape
+func dotF64AVX(a, b []float64) float64
+
+//go:noescape
+func axpyF64AVX(dst, src []float64, a float64)
+
+//go:noescape
+func rotRows4AVX(a0, a1, a2, a3, cs, sn []float64, nrot int)
+
+// eigCPUID executes CPUID with the given leaf/subleaf.
+func eigCPUID(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// eigXGETBV reads extended control register 0.
+func eigXGETBV() (eax, edx uint32)
+
+// eigHasAVX2FMA reports whether the CPU supports AVX2 and FMA and the OS
+// has enabled YMM state saving.
+func eigHasAVX2FMA() bool {
+	maxID, _, _, _ := eigCPUID(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := eigCPUID(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := eigXGETBV()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := eigCPUID(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// rotSweepRowFMA is the single-row rotation sweep with arithmetic
+// bitwise-matched to rotRows4AVX: the right-column update is one rounded
+// product plus one fused multiply-add (VMULPD + VFMADD231PD), the carry
+// update one rounded product plus one fused negated multiply-add
+// (VMULPD + VFNMADD231PD). Chunk grids group rows into fours with a
+// scalar remainder, so this pairing is what keeps the QL pass
+// deterministic across team sizes under the AVX dispatch.
+func rotSweepRowFMA(sub, cs, sn []float64, nrot int) {
+	carry := sub[nrot]
+	for t := 0; t < nrot; t++ {
+		p := nrot - 1 - t
+		x := sub[p]
+		c, s := cs[t], sn[t]
+		sub[p+1] = math.FMA(s, x, c*carry)
+		carry = math.FMA(-s, carry, c*x)
+	}
+	sub[0] = carry
+}
+
+func init() {
+	if eigHasAVX2FMA() {
+		eigDot = dotF64AVX
+		eigAxpy = axpyF64AVX
+		rotRows4 = rotRows4AVX
+		rotRow = rotSweepRowFMA
+		eigKernelISA = "avx2+fma"
+	}
+}

@@ -136,8 +136,12 @@ func probeLink(t *testing.T) simulate.Link {
 }
 
 // symEigSec measures the best-of-reps time of one symmetric
-// eigendecomposition at dimension d.
-func symEigSec(t *testing.T, d int) float64 {
+// eigendecomposition at dimension d using the solver the engines actually
+// run — the blocked solver with a full-machine team (the eig scheduler's
+// choice for a factor that is the whole rank load). Small probe
+// dimensions take the solver's own serial fallback, exactly as the
+// engines' small factors do.
+func symEigSec(t *testing.T, d, team int) float64 {
 	t.Helper()
 	rng := rand.New(rand.NewSource(5))
 	a := tensor.Randn(rng, 1, d, d)
@@ -149,12 +153,13 @@ func symEigSec(t *testing.T, d int) float64 {
 		}
 		a.Set(a.At(i, i)+float64(d), i, i) // diagonally dominant: well-conditioned
 	}
+	var eg linalg.Eigen
 	best := math.MaxFloat64
 	for rep := 0; rep < 4; rep++ {
 		work := a.Clone()
 		t0 := time.Now()
-		if _, err := linalg.SymEig(work); err != nil {
-			t.Fatalf("probe SymEig(%d): %v", d, err)
+		if err := linalg.SymEigBlockedInto(work, &eg, team); err != nil {
+			t.Fatalf("probe SymEigBlocked(%d, team %d): %v", d, team, err)
 		}
 		if s := time.Since(t0).Seconds(); s < best {
 			best = s
@@ -219,8 +224,9 @@ func probeBaseStepSec() float64 {
 func calibrationModel(t *testing.T) *simulate.PlanModel {
 	t.Helper()
 	link := probeLink(t)
-	eigSmall := symEigSec(t, 8)
-	eigBig := symEigSec(t, 48)
+	eigTeam := runtime.GOMAXPROCS(0)
+	eigSmall := symEigSec(t, 8, eigTeam)
+	eigBig := symEigSec(t, 48, eigTeam)
 	m := &simulate.PlanModel{
 		Topology: simulate.Topology{
 			RanksPerNode: 2048, NodesPerRack: 1,
@@ -235,12 +241,13 @@ func calibrationModel(t *testing.T) *simulate.PlanModel {
 		GradBytes:            0, // the harness syncs no gradients outside K-FAC
 		FactorUpdateFreq:     calibFacFreq,
 		InvUpdateFreq:        calibInvFreq,
+		EigWorkers:           eigTeam,
 	}
 	if err := m.Topology.Validate(); err != nil {
 		t.Fatalf("probed topology invalid: %v", err)
 	}
-	t.Logf("probes: α=%.3gs β=%.3gB/s eig=%.3gFLOP/s gemm=%.3gFLOP/s base=%.3gs overhead=%.3gs",
-		link.AlphaSec, link.BetaBytesPerSec, m.EigFlopsPerSec, m.FactorFlopsPerSec,
+	t.Logf("probes: α=%.3gs β=%.3gB/s eig=%.3gFLOP/s (blocked, team %d) gemm=%.3gFLOP/s base=%.3gs overhead=%.3gs",
+		link.AlphaSec, link.BetaBytesPerSec, m.EigFlopsPerSec, eigTeam, m.FactorFlopsPerSec,
 		m.BaseStepSec, m.PerFactorOverheadSec)
 	return m
 }

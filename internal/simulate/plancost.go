@@ -29,6 +29,16 @@ type PlanModel struct {
 	// PerFactorOverheadSec is the fixed cost of launching one
 	// eigendecomposition.
 	PerFactorOverheadSec float64
+	// EigWorkers is GOMAXPROCS of the modeled ranks: the worker budget the
+	// kfac eig scheduler splits between inter-factor fan-out and
+	// intra-factor teams. 0 preserves the pre-team model (every factor
+	// priced at the flat EigFlopsPerSec), keeping old calibrations valid.
+	EigWorkers int
+	// EigTeamEff is the marginal efficiency of each additional team
+	// worker in the blocked solver's speedup model
+	// speedup(t) = 1 + EigTeamEff·(t−1); 0 selects the default 0.7.
+	// Only consulted when EigWorkers > 0.
+	EigTeamEff float64
 	// BaseStepSec is the candidate-independent per-iteration compute
 	// (forward+backward and bookkeeping). It shifts every candidate's total
 	// equally; 0 is fine for planning, calibration sets it from a measured
@@ -69,6 +79,19 @@ func (pm *PlanModel) freqs() (fac, inv float64) {
 		inv = 100
 	}
 	return fac, inv
+}
+
+// eigTeamSpeedup models the blocked solver's scaling with team size t:
+// 1 + eff·(t−1), a fixed-marginal-efficiency line (eff defaults to 0.7).
+func (pm *PlanModel) eigTeamSpeedup(t int) float64 {
+	if t <= 1 {
+		return 1
+	}
+	eff := pm.EigTeamEff
+	if eff <= 0 {
+		eff = 0.7
+	}
+	return 1 + eff*float64(t-1)
 }
 
 // decompWidth returns the resident decomposition element width.
@@ -168,10 +191,30 @@ func (pm *PlanModel) Evaluate(strategy kfac.Strategy, refs []kfac.FactorRef, wor
 		counts[w]++
 	}
 	var eigComp float64
-	for r, l := range loads {
-		t := l/pm.EigFlopsPerSec + float64(counts[r])*pm.PerFactorOverheadSec
-		if t > eigComp {
-			eigComp = t
+	if pm.EigWorkers > 0 {
+		// Team-aware pricing: each factor's cost shrinks by the modeled
+		// speedup of the team the kfac eig scheduler would grant it on its
+		// owner rank (EigTeamSize against the owner's total load) — the
+		// MEM-OPT one-big-factor-per-rank case is exactly where this
+		// diverges from the flat-throughput model.
+		perRank := make([]float64, world)
+		for i, f := range refs {
+			r := assign[i]
+			team := kfac.EigTeamSize(f.Dim, pm.EigWorkers, loads[r])
+			perRank[r] += f.Cost() / (pm.EigFlopsPerSec * pm.eigTeamSpeedup(team))
+		}
+		for r, t := range perRank {
+			t += float64(counts[r]) * pm.PerFactorOverheadSec
+			if t > eigComp {
+				eigComp = t
+			}
+		}
+	} else {
+		for r, l := range loads {
+			t := l/pm.EigFlopsPerSec + float64(counts[r])*pm.PerFactorOverheadSec
+			if t > eigComp {
+				eigComp = t
+			}
 		}
 	}
 	ev.EigComputeSec = eigComp / invFreq

@@ -60,6 +60,12 @@ func load(dir, suffix, fabric string) (map[string]*experiments.BenchResult, erro
 		if err := json.Unmarshal(raw, &r); err != nil {
 			return nil, fmt.Errorf("%s: %w", p, err)
 		}
+		if r.Schema != "" && r.Schema != experiments.BenchSchema {
+			// Foreign-schema artifacts (e.g. BENCH_eig.json, the kernel
+			// microbenchmark) live alongside the step cells but are not
+			// step trajectories; skip them.
+			continue
+		}
 		if r.Scenario == "" {
 			return nil, fmt.Errorf("%s: missing scenario field", p)
 		}
@@ -76,6 +82,13 @@ func load(dir, suffix, fabric string) (map[string]*experiments.BenchResult, erro
 		out[key] = &r
 	}
 	return out, nil
+}
+
+// stageCol formats one stage's ref→new pair with its relative delta,
+// e.g. " 120.4→  48.1ms  -60%".
+func stageCol(ref, new int64) string {
+	return fmt.Sprintf("%7.1f→%7.1fms %+4.0f%%",
+		float64(ref)/1e6, float64(new)/1e6, 100*relDelta(ref, new))
 }
 
 // relDelta returns (new-old)/old, or 0 when old is 0.
@@ -153,6 +166,28 @@ func main() {
 			s, float64(r.StepTimeMeanNS)/1e6, float64(n.StepTimeMeanNS)/1e6, 100*d,
 			r.SteadyAllocsPerStep, n.SteadyAllocsPerStep, mark)
 	}
+	// Per-stage compute breakdown: factor construction, eigendecomposition,
+	// and preconditioning GEMMs per scenario. Informational only — stage
+	// shares shift by design when solvers or schedules change, and the
+	// step-time gate above already bounds the total — but this is where a
+	// solver speedup (or regression) is actually visible.
+	fmt.Printf("\n%-32s %21s %21s %21s\n", "stage breakdown", "factor ref→new", "eig ref→new", "precond ref→new")
+	for _, s := range scenarios {
+		n := fresh[s]
+		r, ok := ref[s]
+		if !ok {
+			continue
+		}
+		if r.FactorComputeNS+r.EigComputeNS+r.PreconditionNS == 0 &&
+			n.FactorComputeNS+n.EigComputeNS+n.PreconditionNS == 0 {
+			continue
+		}
+		fmt.Printf("%-32s %s %s %s\n", s,
+			stageCol(r.FactorComputeNS, n.FactorComputeNS),
+			stageCol(r.EigComputeNS, n.EigComputeNS),
+			stageCol(r.PreconditionNS, n.PreconditionNS))
+	}
+
 	var refOnly []string
 	if *suffix == "" {
 		// Under -suffix the sides intentionally cover different matrix
